@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig6.txt")
+	if err := run("fig6", 100, 0.4, "text", out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fig6") {
+		t.Fatalf("output missing experiment header:\n%s", data)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tab2.csv")
+	if err := run("tab2", 100, 0.4, "csv", out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "data-set,") {
+		t.Fatalf("csv output malformed:\n%s", data)
+	}
+}
+
+func TestRunCommaList(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "both.txt")
+	if err := run("fig6,fig4", 100, 0.4, "text", out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "fig6") || !strings.Contains(string(data), "fig4") {
+		t.Fatal("comma list should run both experiments")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 100, 0.4, "text", "", true); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if err := run("fig6", 100, 0.4, "yaml", "", true); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig6.md")
+	if err := run("fig6", 100, 0.4, "md", out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "### fig6") {
+		t.Fatalf("markdown output malformed:\n%s", data)
+	}
+}

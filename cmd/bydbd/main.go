@@ -1,0 +1,87 @@
+// Command bydbd runs a federation member database node: it owns the
+// tables of one site of a data release and answers sub-queries and
+// object fetches from the proxy over TCP.
+//
+// Usage:
+//
+//	bydbd -release edr -site photo.sdss.org -addr :7101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/wire"
+)
+
+func main() {
+	var (
+		release = flag.String("release", "edr", "data release: edr or dr1")
+		site    = flag.String("site", catalog.SitePhoto, "site this node serves")
+		addr    = flag.String("addr", ":7101", "listen address")
+		sample  = flag.Int64("sample", 1000, "materialize 1 of every N logical rows")
+		seed    = flag.Int64("seed", 1, "data synthesis seed (must match the proxy's)")
+	)
+	flag.Parse()
+
+	if err := run(*release, *site, *addr, *sample, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "bydbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(release, site, addr string, sample, seed int64) error {
+	node, bound, err := start(release, site, addr, sample, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bydbd: serving %s of release %s on %s (sample 1/%d)\n",
+		site, release, bound, sample)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return node.Close()
+}
+
+// start builds and listens a database node; split from run so tests
+// can exercise everything but the signal wait.
+func start(release, site, addr string, sample, seed int64) (*wire.DBNode, string, error) {
+	s, err := schemaFor(release)
+	if err != nil {
+		return nil, "", err
+	}
+	// Materialize only this site's tables; synthesis is seeded per
+	// column, so the subset matches the proxy's full instance exactly.
+	sub := catalog.SiteSchema(s, site)
+	if len(sub.Tables) == 0 {
+		return nil, "", fmt.Errorf("site %q owns no tables of release %s (have %v)",
+			site, s.Name, catalog.Sites(s))
+	}
+	db, err := engine.Open(sub, engine.Config{SampleEvery: sample, Seed: seed})
+	if err != nil {
+		return nil, "", err
+	}
+	node := wire.NewDBNode(site, db)
+	bound, err := node.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return node, bound, nil
+}
+
+func schemaFor(release string) (*catalog.Schema, error) {
+	switch release {
+	case "edr":
+		return catalog.EDR(), nil
+	case "dr1":
+		return catalog.DR1(), nil
+	default:
+		return nil, fmt.Errorf("unknown release %q (have edr, dr1)", release)
+	}
+}

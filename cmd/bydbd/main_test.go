@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/wire"
+)
+
+func TestStartAndServe(t *testing.T) {
+	node, addr, err := start("edr", catalog.SiteSpec, "127.0.0.1:0", 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("select z from specobj where z < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows <= 0 {
+		t.Fatal("no rows from node")
+	}
+	// The node holds only its site's tables.
+	if _, err := c.Query("select ra from photoobj where ra < 10"); err == nil {
+		t.Fatal("foreign-site table should be rejected")
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	if _, _, err := start("dr9", catalog.SiteSpec, "127.0.0.1:0", 100000, 1); err == nil {
+		t.Fatal("unknown release should error")
+	}
+	if _, _, err := start("edr", "nowhere", "127.0.0.1:0", 100000, 1); err == nil {
+		t.Fatal("siteless node should error")
+	}
+}

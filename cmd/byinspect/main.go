@@ -1,0 +1,134 @@
+// Command byinspect analyzes a workload trace file: class mix, yield
+// distribution, sequence cost, schema locality (the paper's Figures
+// 5–6), and query containment (Figure 4).
+//
+// Usage:
+//
+//	bytrace -release edr -scale 50 -out edr.jsonl.gz
+//	byinspect -trace edr.jsonl.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bypassyield/internal/trace"
+	"bypassyield/internal/workload"
+)
+
+func main() {
+	var (
+		path = flag.String("trace", "", "trace file (JSONL, optionally .gz)")
+		top  = flag.Int("top", 10, "show the top-N items in each ranking")
+		prep = flag.Bool("preprocess", true, "drop log-self queries before analysis")
+	)
+	flag.Parse()
+
+	if err := run(*path, *top, *prep); err != nil {
+		fmt.Fprintln(os.Stderr, "byinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int, prep bool) error {
+	if path == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	recs, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Validate(recs); err != nil {
+		return err
+	}
+	total := len(recs)
+	if prep {
+		recs = trace.Preprocess(recs)
+	}
+
+	fmt.Printf("trace: %d queries (%d after preprocessing), sequence cost %.3f GB\n",
+		total, len(recs), float64(trace.SequenceCost(recs))/1e9)
+
+	// Class mix and per-class yield volume.
+	type classAgg struct {
+		n     int
+		bytes int64
+	}
+	classes := map[string]*classAgg{}
+	var yields []int64
+	for _, r := range recs {
+		c := classes[r.Class]
+		if c == nil {
+			c = &classAgg{}
+			classes[r.Class] = c
+		}
+		c.n++
+		c.bytes += r.Yield
+		yields = append(yields, r.Yield)
+	}
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return classes[names[i]].bytes > classes[names[j]].bytes })
+	fmt.Println("\nclass mix (by byte volume):")
+	for _, name := range names {
+		c := classes[name]
+		fmt.Printf("  %-10s %6d queries (%4.1f%%)  %9.3f GB (%4.1f%%)\n",
+			name, c.n, 100*float64(c.n)/float64(len(recs)),
+			float64(c.bytes)/1e9, 100*float64(c.bytes)/float64(trace.SequenceCost(recs)))
+	}
+
+	// Yield distribution.
+	sort.Slice(yields, func(i, j int) bool { return yields[i] < yields[j] })
+	pct := func(p float64) int64 {
+		if len(yields) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(yields)-1))
+		return yields[i]
+	}
+	fmt.Printf("\nyield distribution: p50 %.3f MB, p90 %.3f MB, p99 %.3f MB, max %.3f MB\n",
+		float64(pct(0.5))/1e6, float64(pct(0.9))/1e6, float64(pct(0.99))/1e6,
+		float64(yields[len(yields)-1])/1e6)
+
+	// Schema locality (Figures 5-6).
+	cols := workload.SummarizeLocality(workload.ColumnLocality(recs))
+	tabs := workload.SummarizeLocality(workload.TableLocality(recs))
+	if cols.References > 0 {
+		fmt.Printf("\ncolumn locality: %d distinct, %d (%.0f%%) cover 90%% of %d references\n",
+			cols.Items, cols.Top90, cols.Top90Frac*100, cols.References)
+	}
+	fmt.Printf("table locality:  %d distinct, %d (%.0f%%) cover 90%% of %d references\n",
+		tabs.Items, tabs.Top90, tabs.Top90Frac*100, tabs.References)
+
+	// Containment (Figure 4).
+	cont := workload.QueryContainment(recs)
+	if len(cont.Points) > 0 {
+		fmt.Printf("query containment: %d identity queries, %d distinct ids, reuse rate %.3f\n",
+			len(cont.Points), cont.Distinct, cont.ReuseRate())
+	}
+
+	// Top objects by yield volume.
+	byObj := map[string]int64{}
+	for _, r := range recs {
+		for _, a := range r.Accesses {
+			byObj[a.Object] += a.Yield
+		}
+	}
+	objs := make([]string, 0, len(byObj))
+	for o := range byObj {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return byObj[objs[i]] > byObj[objs[j]] })
+	if top > len(objs) {
+		top = len(objs)
+	}
+	fmt.Printf("\ntop %d objects by yield volume:\n", top)
+	for _, o := range objs[:top] {
+		fmt.Printf("  %-36s %9.3f GB\n", o, float64(byObj[o])/1e9)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bypassyield/internal/federation"
+	"bypassyield/internal/trace"
+	"bypassyield/internal/workload"
+)
+
+func TestRunOnGeneratedTrace(t *testing.T) {
+	p := workload.ScaledProfile(workload.EDRProfile(), 300)
+	recs, err := workload.Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	if err := trace.WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 5, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 5, true); err == nil {
+		t.Fatal("missing -trace should error")
+	}
+	if err := run(filepath.Join(t.TempDir(), "absent.jsonl"), 5, true); err == nil {
+		t.Fatal("absent file should error")
+	}
+}

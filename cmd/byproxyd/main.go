@@ -1,0 +1,110 @@
+// Command byproxyd runs the paper's mediator-collocated bypass-yield
+// proxy cache: clients send SQL, the proxy mediates each query across
+// the federation's database nodes, and a bypass-yield policy decides
+// per object whether to serve in cache, load, or bypass.
+//
+// Usage:
+//
+//	byproxyd -release edr -addr :7100 -policy rate-profile -cache-pct 0.4 \
+//	  -nodes "photo.sdss.org=localhost:7101,spec.sdss.org=localhost:7102"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/wire"
+)
+
+func main() {
+	var (
+		release  = flag.String("release", "edr", "data release: edr or dr1")
+		addr     = flag.String("addr", ":7100", "listen address for clients")
+		policy   = flag.String("policy", "rate-profile", "cache policy: "+strings.Join(core.PolicyNames(), ", "))
+		cachePct = flag.Float64("cache-pct", 0.4, "cache size as a fraction of the database")
+		gran     = flag.String("granularity", "columns", "object granularity: tables or columns")
+		nodes    = flag.String("nodes", "", "comma-separated site=addr pairs of database nodes (empty = simulate locally)")
+		sample   = flag.Int64("sample", 1000, "materialize 1 of every N logical rows")
+		seed     = flag.Int64("seed", 1, "data synthesis seed (must match the nodes')")
+	)
+	flag.Parse()
+
+	if err := run(*release, *addr, *policy, *cachePct, *gran, *nodes, *sample, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "byproxyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(release, addr, policy string, cachePct float64, gran, nodes string, sample, seed int64) error {
+	proxy, bound, desc, err := start(release, addr, policy, cachePct, gran, nodes, sample, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "byproxyd: %s on %s\n", desc, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return proxy.Close()
+}
+
+// start builds and listens the proxy; split from run so tests can
+// exercise everything but the signal wait.
+func start(release, addr, policy string, cachePct float64, gran, nodes string, sample, seed int64) (*wire.Proxy, string, string, error) {
+	var s *catalog.Schema
+	switch release {
+	case "edr":
+		s = catalog.EDR()
+	case "dr1":
+		s = catalog.DR1()
+	default:
+		return nil, "", "", fmt.Errorf("unknown release %q (have edr, dr1)", release)
+	}
+	g, err := federation.ParseGranularity(gran)
+	if err != nil {
+		return nil, "", "", err
+	}
+	capacity := int64(cachePct * float64(s.TotalBytes()))
+	pol, err := core.NewPolicyByName(policy, capacity, seed)
+	if err != nil {
+		return nil, "", "", err
+	}
+	db, err := engine.Open(s, engine.Config{SampleEvery: sample, Seed: seed})
+	if err != nil {
+		return nil, "", "", err
+	}
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db, Policy: pol, Granularity: g,
+	})
+	if err != nil {
+		return nil, "", "", err
+	}
+
+	nodeAddrs := map[string]string{}
+	if nodes != "" {
+		for _, pair := range strings.Split(nodes, ",") {
+			site, naddr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, "", "", fmt.Errorf("bad -nodes entry %q (want site=addr)", pair)
+			}
+			nodeAddrs[site] = naddr
+		}
+	}
+
+	proxy := wire.NewProxy(med, g, nodeAddrs)
+	bound, err := proxy.Listen(addr)
+	if err != nil {
+		return nil, "", "", err
+	}
+	desc := fmt.Sprintf("release %s, policy %s, cache %.0f%% (%d MB), granularity %s, %d nodes",
+		s.Name, pol.Name(), cachePct*100, capacity>>20, g, len(nodeAddrs))
+	return proxy, bound, desc, nil
+}

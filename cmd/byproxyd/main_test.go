@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bypassyield/internal/wire"
+)
+
+func TestStartAndQuery(t *testing.T) {
+	proxy, addr, desc, err := start("edr", "127.0.0.1:0", "rate-profile", 0.4, "columns", "", 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	if !strings.Contains(desc, "rate-profile") || !strings.Contains(desc, "columns") {
+		t.Fatalf("description = %q", desc)
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("select ra, dec from photoobj where ra < 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows <= 0 || len(res.Decisions) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 1 {
+		t.Fatalf("queries = %d", st.Queries)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		release string
+		policy  string
+		gran    string
+		nodes   string
+	}{
+		{"bad release", "dr9", "gds", "tables", ""},
+		{"bad policy", "edr", "magic", "tables", ""},
+		{"bad granularity", "edr", "gds", "rows", ""},
+		{"bad nodes", "edr", "gds", "tables", "no-equals-sign"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := start(tc.release, "127.0.0.1:0", tc.policy, 0.4, tc.gran, tc.nodes, 100000, 1); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/wire"
+)
+
+func startProxy(t *testing.T) (string, func()) {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db,
+		Policy:      core.NewGDS(s.TotalBytes() / 2),
+		Granularity: federation.Tables,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := wire.NewProxy(med, federation.Tables, nil)
+	proxy.SetLogf(func(string, ...any) {})
+	addr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr, func() { proxy.Close() }
+}
+
+func TestRunOneShotAndStats(t *testing.T) {
+	addr, stop := startProxy(t)
+	defer stop()
+	if err := run(addr, false, true, []string{"select", "ra", "from", "photoobj", "where", "ra", "<", "30"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(addr, true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadSQL(t *testing.T) {
+	addr, stop := startProxy(t)
+	defer stop()
+	if err := run(addr, false, false, []string{"not", "sql"}); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+}
+
+func TestRunDialError(t *testing.T) {
+	if err := run("127.0.0.1:1", false, false, []string{"select 1"}); err == nil {
+		t.Fatal("dial failure should error")
+	}
+}

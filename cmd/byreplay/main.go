@@ -1,0 +1,85 @@
+// Command byreplay replays a workload trace file (bytrace's JSONL
+// output) against a running proxy — the paper's trace-driven
+// methodology over the live prototype — and reports the proxy's flow
+// accounting when done.
+//
+// Usage:
+//
+//	bytrace -release edr -scale 100 -out edr.jsonl
+//	byreplay -addr localhost:7100 -trace edr.jsonl -progress 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bypassyield/internal/trace"
+	"bypassyield/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7100", "proxy address")
+		path     = flag.String("trace", "", "trace file (JSONL, from bytrace)")
+		limit    = flag.Int("limit", 0, "replay at most N queries (0 = all)")
+		progress = flag.Int("progress", 500, "print progress every N queries (0 = quiet)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *path, *limit, *progress); err != nil {
+		fmt.Fprintln(os.Stderr, "byreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, path string, limit, progress int) error {
+	if path == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	recs, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs = trace.Preprocess(recs)
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+
+	client, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	start := time.Now()
+	var replayed, failed int
+	for i, rec := range recs {
+		if _, err := client.Query(rec.SQL); err != nil {
+			failed++
+			if failed <= 5 {
+				fmt.Fprintf(os.Stderr, "byreplay: query %d failed: %v\n", rec.Seq, err)
+			}
+			continue
+		}
+		replayed++
+		if progress > 0 && (i+1)%progress == 0 {
+			fmt.Fprintf(os.Stderr, "byreplay: %d/%d queries (%.0f/s)\n",
+				i+1, len(recs), float64(i+1)/time.Since(start).Seconds())
+		}
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	a := st.Acct
+	fmt.Printf("replayed %d queries (%d failed) in %v\n", replayed, failed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("policy %s (%s): %d hits / %d bypasses / %d loads / %d evictions\n",
+		st.Policy, st.Granularity, a.Hits, a.Bypasses, a.Loads, a.Evictions)
+	fmt.Printf("WAN %.3f GB (bypass %.3f + fetch %.3f) of %.3f GB delivered; byte hit rate %.1f%%\n",
+		float64(a.WANBytes())/1e9, float64(a.BypassBytes)/1e9, float64(a.FetchBytes)/1e9,
+		float64(a.DeliveredBytes())/1e9, a.ByteHitRate()*100)
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/trace"
+	"bypassyield/internal/wire"
+	"bypassyield/internal/workload"
+)
+
+// startProxy spins an in-process proxy in simulation mode.
+func startProxy(t *testing.T) (string, func()) {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db,
+		Policy:      core.NewRateProfile(core.RateProfileConfig{Capacity: s.TotalBytes() * 4 / 10}),
+		Granularity: federation.Columns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := wire.NewProxy(med, federation.Columns, nil)
+	proxy.SetLogf(func(string, ...any) {})
+	addr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr, func() { proxy.Close() }
+}
+
+func TestRunReplaysTrace(t *testing.T) {
+	p := workload.ScaledProfile(workload.EDRProfile(), 500)
+	recs, err := workload.Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	if err := trace.WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startProxy(t)
+	defer stop()
+	if err := run(addr, path, 25, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("127.0.0.1:1", "", 0, 0); err == nil {
+		t.Fatal("missing trace should error")
+	}
+	addrless := filepath.Join(t.TempDir(), "absent.jsonl")
+	if err := run("127.0.0.1:1", addrless, 0, 0); err == nil {
+		t.Fatal("absent trace should error")
+	}
+}

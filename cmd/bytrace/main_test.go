@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bypassyield/internal/trace"
+)
+
+func TestRunWritesValidTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "edr.jsonl")
+	if err := run("edr", "columns", 300, 0, out, false); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := trace.Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPreprocessed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "edr.jsonl")
+	if err := run("edr", "tables", 300, 7, out, true); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Class == trace.ClassLog {
+			t.Fatal("log queries should have been removed")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("dr9", "columns", 300, 0, "", false); err == nil {
+		t.Fatal("unknown release should error")
+	}
+	if err := run("edr", "rows", 300, 0, "", false); err == nil {
+		t.Fatal("unknown granularity should error")
+	}
+}

@@ -1,0 +1,86 @@
+// Policylab example: ablations over the design choices DESIGN.md
+// calls out — the Rate-Profile episode parameters (c, k, γ), the
+// choice of A_obj subroutine inside OnlineBY, and the metadata bound —
+// all over the same scaled EDR trace.
+//
+//	go run ./examples/policylab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bypassyield/internal/core"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/trace"
+	"bypassyield/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profile := workload.ScaledProfile(workload.EDRProfile(), 40)
+	recs, err := workload.Generate(profile, federation.Columns)
+	if err != nil {
+		return err
+	}
+	reqs := trace.Requests(trace.Preprocess(recs))
+	objs := federation.Objects(profile.Schema, federation.Columns, nil)
+	capacity := profile.Schema.TotalBytes() * 4 / 10
+
+	cost := func(p core.Policy) float64 {
+		sim := &core.Simulator{Policy: p, Objects: objs}
+		res, err := sim.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return float64(res.Acct.WANBytes()) / 1e9
+	}
+
+	fmt.Println("=== Episode decay tolerance c (paper: 0.5) ===")
+	for _, c := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		ep := core.DefaultEpisodeConfig()
+		ep.C = c
+		p := core.NewRateProfile(core.RateProfileConfig{Capacity: capacity, Episodes: ep})
+		fmt.Printf("  c = %.2f → %.2f GB\n", c, cost(p))
+	}
+
+	fmt.Println("=== Episode idle horizon k (paper: 1000) ===")
+	for _, k := range []int64{50, 200, 1000, 5000} {
+		ep := core.DefaultEpisodeConfig()
+		ep.K = k
+		p := core.NewRateProfile(core.RateProfileConfig{Capacity: capacity, Episodes: ep})
+		fmt.Printf("  k = %-5d → %.2f GB\n", k, cost(p))
+	}
+
+	fmt.Println("=== Episode aging factor γ ===")
+	for _, gamma := range []float64{0.1, 0.5, 0.9} {
+		ep := core.DefaultEpisodeConfig()
+		ep.Gamma = gamma
+		p := core.NewRateProfile(core.RateProfileConfig{Capacity: capacity, Episodes: ep})
+		fmt.Printf("  γ = %.1f  → %.2f GB\n", gamma, cost(p))
+	}
+
+	fmt.Println("=== Metadata bound (profiles retained) ===")
+	for _, m := range []int{16, 64, 256, 0 /* unbounded default */} {
+		p := core.NewRateProfile(core.RateProfileConfig{Capacity: capacity, MaxProfiles: m})
+		label := fmt.Sprintf("%d", m)
+		if m == 0 {
+			label = "default"
+		}
+		fmt.Printf("  max profiles %-8s → %.2f GB\n", label, cost(p))
+	}
+
+	fmt.Println("=== A_obj subroutine inside OnlineBY ===")
+	fmt.Printf("  landlord           → %.2f GB\n", cost(core.NewOnlineBY(core.NewLandlord(capacity))))
+	fmt.Printf("  size-class marking → %.2f GB\n", cost(core.NewOnlineBY(core.NewSizeClassMarking(capacity))))
+
+	fmt.Println("=== Reference points ===")
+	fmt.Printf("  no caching         → %.2f GB\n", cost(core.NewNoCache()))
+	fmt.Printf("  static optimal     → %.2f GB\n", cost(core.PlanStatic(capacity, reqs, objs)))
+	return nil
+}

@@ -1,0 +1,3 @@
+module bypassyield
+
+go 1.22

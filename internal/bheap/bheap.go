@@ -1,0 +1,224 @@
+// Package bheap provides a mutable binary min-heap keyed by a float64
+// utility with O(1) membership lookup by string key.
+//
+// It is the cache data structure described in Section 6 of the paper:
+// a binary heap of database objects ordered by utility value, with an
+// additional hash table so that hits and misses resolve in O(1) time.
+// Insertions are O(log n), eviction of the minimum-utility item is
+// O(log n), and utility updates are O(log n).
+package bheap
+
+import "fmt"
+
+// Item is an element stored in the heap. The zero Item is not valid;
+// items are created by Push and owned by the heap until removed.
+type Item struct {
+	// Key uniquely identifies the item within the heap.
+	Key string
+	// Utility is the heap ordering key; the minimum-utility item is
+	// at the root.
+	Utility float64
+	// Value is an arbitrary payload carried with the item.
+	Value any
+
+	index int // position in the heap slice; -1 once removed
+}
+
+// Heap is a binary min-heap over Items with O(1) lookup by key.
+// The zero value is an empty heap ready for use.
+type Heap struct {
+	items []*Item
+	byKey map[string]*Item
+}
+
+// New returns an empty heap with capacity hint n.
+func New(n int) *Heap {
+	return &Heap{
+		items: make([]*Item, 0, n),
+		byKey: make(map[string]*Item, n),
+	}
+}
+
+// Len reports the number of items in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Contains reports whether an item with the given key is present.
+func (h *Heap) Contains(key string) bool {
+	_, ok := h.byKey[key]
+	return ok
+}
+
+// Get returns the item with the given key, or nil if absent.
+func (h *Heap) Get(key string) *Item {
+	return h.byKey[key]
+}
+
+// Push inserts a new item and returns it. It returns an error if an
+// item with the same key is already present.
+func (h *Heap) Push(key string, utility float64, value any) (*Item, error) {
+	if h.byKey == nil {
+		h.byKey = make(map[string]*Item)
+	}
+	if _, ok := h.byKey[key]; ok {
+		return nil, fmt.Errorf("bheap: duplicate key %q", key)
+	}
+	it := &Item{Key: key, Utility: utility, Value: value, index: len(h.items)}
+	h.items = append(h.items, it)
+	h.byKey[key] = it
+	h.up(it.index)
+	return it, nil
+}
+
+// PeekMin returns the minimum-utility item without removing it, or nil
+// if the heap is empty.
+func (h *Heap) PeekMin() *Item {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// PopMin removes and returns the minimum-utility item, or nil if the
+// heap is empty.
+func (h *Heap) PopMin() *Item {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.remove(0)
+}
+
+// Remove removes the item with the given key and returns it, or nil if
+// the key is absent.
+func (h *Heap) Remove(key string) *Item {
+	it, ok := h.byKey[key]
+	if !ok {
+		return nil
+	}
+	return h.remove(it.index)
+}
+
+// Update changes the utility of the item with the given key and
+// restores heap order. It reports whether the key was present.
+func (h *Heap) Update(key string, utility float64) bool {
+	it, ok := h.byKey[key]
+	if !ok {
+		return false
+	}
+	old := it.Utility
+	it.Utility = utility
+	switch {
+	case utility < old:
+		h.up(it.index)
+	case utility > old:
+		h.down(it.index)
+	}
+	return true
+}
+
+// Items returns a snapshot of all items in heap (not sorted) order.
+// Mutating the returned slice does not affect the heap, but the Items
+// themselves are shared.
+func (h *Heap) Items() []*Item {
+	out := make([]*Item, len(h.items))
+	copy(out, h.items)
+	return out
+}
+
+// AscendMin visits items in nondecreasing utility order, calling fn for
+// each until fn returns false. It operates on a temporary copy and does
+// not modify the heap. Cost is O(n log n) in the worst case; callers
+// typically stop early after a few items.
+func (h *Heap) AscendMin(fn func(*Item) bool) {
+	// Copy the heap structure (item pointers and order) and pop from
+	// the copy. Indexes on shared items must not be disturbed, so the
+	// copy tracks positions independently.
+	type node struct {
+		it *Item
+	}
+	nodes := make([]node, len(h.items))
+	for i, it := range h.items {
+		nodes[i] = node{it}
+	}
+	less := func(i, j int) bool { return nodes[i].it.Utility < nodes[j].it.Utility }
+	swap := func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] }
+	down := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < n && less(l, s) {
+				s = l
+			}
+			if r < n && less(r, s) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			swap(i, s)
+			i = s
+		}
+	}
+	n := len(nodes)
+	for n > 0 {
+		if !fn(nodes[0].it) {
+			return
+		}
+		n--
+		swap(0, n)
+		down(0, n)
+	}
+}
+
+func (h *Heap) remove(i int) *Item {
+	it := h.items[i]
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	delete(h.byKey, it.Key)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	it.index = -1
+	return it
+}
+
+func (h *Heap) less(i, j int) bool {
+	return h.items[i].Utility < h.items[j].Utility
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,286 @@
+package bheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	var h Heap
+	if h.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", h.Len())
+	}
+	if h.PeekMin() != nil {
+		t.Fatal("PeekMin on empty heap should be nil")
+	}
+	if h.PopMin() != nil {
+		t.Fatal("PopMin on empty heap should be nil")
+	}
+	if h.Remove("x") != nil {
+		t.Fatal("Remove on empty heap should be nil")
+	}
+	if h.Contains("x") {
+		t.Fatal("Contains on empty heap should be false")
+	}
+	if h.Update("x", 1) {
+		t.Fatal("Update on empty heap should report false")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	h := New(8)
+	utils := []float64{5, 1, 3, 2, 4, 0, 6}
+	for i, u := range utils {
+		if _, err := h.Push(string(rune('a'+i)), u, nil); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	want := append([]float64(nil), utils...)
+	sort.Float64s(want)
+	for i, w := range want {
+		it := h.PopMin()
+		if it == nil {
+			t.Fatalf("PopMin #%d returned nil", i)
+		}
+		if it.Utility != w {
+			t.Fatalf("PopMin #%d utility = %v, want %v", i, it.Utility, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after draining = %d, want 0", h.Len())
+	}
+}
+
+func TestDuplicateKey(t *testing.T) {
+	h := New(2)
+	if _, err := h.Push("a", 1, nil); err != nil {
+		t.Fatalf("first Push: %v", err)
+	}
+	if _, err := h.Push("a", 2, nil); err == nil {
+		t.Fatal("second Push with duplicate key should fail")
+	}
+}
+
+func TestGetAndValue(t *testing.T) {
+	h := New(2)
+	h.Push("a", 1, 42)
+	it := h.Get("a")
+	if it == nil {
+		t.Fatal("Get returned nil for present key")
+	}
+	if v, ok := it.Value.(int); !ok || v != 42 {
+		t.Fatalf("Value = %v, want 42", it.Value)
+	}
+	if h.Get("b") != nil {
+		t.Fatal("Get for absent key should be nil")
+	}
+}
+
+func TestUpdateMovesItem(t *testing.T) {
+	h := New(4)
+	h.Push("a", 1, nil)
+	h.Push("b", 2, nil)
+	h.Push("c", 3, nil)
+	if !h.Update("a", 10) {
+		t.Fatal("Update should report true for present key")
+	}
+	if got := h.PeekMin().Key; got != "b" {
+		t.Fatalf("PeekMin after update = %q, want b", got)
+	}
+	h.Update("c", 0)
+	if got := h.PeekMin().Key; got != "c" {
+		t.Fatalf("PeekMin after second update = %q, want c", got)
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	h := New(8)
+	for i, u := range []float64{4, 2, 6, 1, 3, 5} {
+		h.Push(string(rune('a'+i)), u, nil)
+	}
+	removed := h.Remove("a") // utility 4
+	if removed == nil || removed.Utility != 4 {
+		t.Fatalf("Remove returned %+v, want utility 4", removed)
+	}
+	if h.Contains("a") {
+		t.Fatal("heap still contains removed key")
+	}
+	want := []float64{1, 2, 3, 5, 6}
+	for i, w := range want {
+		if got := h.PopMin().Utility; got != w {
+			t.Fatalf("PopMin #%d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRemoveLast(t *testing.T) {
+	h := New(2)
+	h.Push("a", 1, nil)
+	it := h.Remove("a")
+	if it == nil || it.Key != "a" {
+		t.Fatalf("Remove = %+v, want key a", it)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+}
+
+func TestAscendMinOrderAndEarlyStop(t *testing.T) {
+	h := New(16)
+	r := rand.New(rand.NewSource(7))
+	var want []float64
+	for i := 0; i < 50; i++ {
+		u := r.Float64()
+		want = append(want, u)
+		h.Push(string(rune(i+'0')), u, nil)
+	}
+	sort.Float64s(want)
+
+	var got []float64
+	h.AscendMin(func(it *Item) bool {
+		got = append(got, it.Utility)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("AscendMin visited %d items, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AscendMin order mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Heap must be unchanged by AscendMin.
+	if h.Len() != 50 {
+		t.Fatalf("heap length changed by AscendMin: %d", h.Len())
+	}
+	if h.PeekMin().Utility != want[0] {
+		t.Fatal("heap min changed by AscendMin")
+	}
+
+	// Early stop after three items.
+	n := 0
+	h.AscendMin(func(*Item) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var h Heap
+	if _, err := h.Push("a", 1, nil); err != nil {
+		t.Fatalf("Push on zero-value heap: %v", err)
+	}
+	if h.PopMin().Key != "a" {
+		t.Fatal("PopMin should return pushed item")
+	}
+}
+
+// heapInvariant checks the min-heap property and index consistency.
+func heapInvariant(h *Heap) bool {
+	for i, it := range h.items {
+		if it.index != i {
+			return false
+		}
+		if got := h.byKey[it.Key]; got != it {
+			return false
+		}
+		l, r := 2*i+1, 2*i+2
+		if l < len(h.items) && h.items[l].Utility < it.Utility {
+			return false
+		}
+		if r < len(h.items) && h.items[r].Utility < it.Utility {
+			return false
+		}
+	}
+	return len(h.items) == len(h.byKey)
+}
+
+func TestQuickRandomOps(t *testing.T) {
+	// Property: after an arbitrary sequence of push/pop/update/remove
+	// operations the heap invariant holds and PopMin drains in sorted
+	// order.
+	f := func(seed int64, opsRaw []byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := New(4)
+		live := map[string]bool{}
+		keyN := 0
+		for _, op := range opsRaw {
+			switch op % 4 {
+			case 0: // push
+				k := string(rune('A' + keyN%64))
+				keyN++
+				if !live[k] {
+					h.Push(k, r.Float64(), nil)
+					live[k] = true
+				}
+			case 1: // pop
+				if it := h.PopMin(); it != nil {
+					delete(live, it.Key)
+				}
+			case 2: // update random live key
+				for k := range live {
+					h.Update(k, r.Float64())
+					break
+				}
+			case 3: // remove random live key
+				for k := range live {
+					h.Remove(k)
+					delete(live, k)
+					break
+				}
+			}
+			if !heapInvariant(h) {
+				return false
+			}
+		}
+		prev := -1.0
+		for h.Len() > 0 {
+			it := h.PopMin()
+			if it.Utility < prev {
+				return false
+			}
+			prev = it.Utility
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = string(rune(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := New(len(keys))
+		for _, k := range keys {
+			h.Push(k, r.Float64(), nil)
+		}
+		for h.Len() > 0 {
+			h.PopMin()
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	h := New(1024)
+	r := rand.New(rand.NewSource(1))
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = string(rune(i))
+		h.Push(keys[i], r.Float64(), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Update(keys[i%len(keys)], r.Float64())
+	}
+}

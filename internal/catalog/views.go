@@ -1,0 +1,148 @@
+package catalog
+
+// Materialized views: the third class of cacheable database object
+// the paper names ("database objects such as relations, attributes,
+// and materialized views"). A view is a predicate-defined horizontal
+// slice of one base table, optionally projected to a column subset;
+// its logical size follows from the base table's size and the
+// predicate's selectivity under the catalog's uniform value model —
+// the same arithmetic the engine's estimator uses, so view sizes and
+// query yields stay consistent.
+
+// ViewPred is one conjunct of a view's defining predicate: a closed
+// interval on a base-table column.
+type ViewPred struct {
+	// Column names the constrained base-table column.
+	Column string
+	// Lo and Hi bound the admitted values (inclusive).
+	Lo, Hi float64
+}
+
+// View is a materialized view over one base table.
+type View struct {
+	// Name identifies the view within its release.
+	Name string
+	// Table names the base table.
+	Table string
+	// Columns lists the projected columns; empty means all columns.
+	Columns []string
+	// Preds is the defining predicate (a conjunction of intervals).
+	Preds []ViewPred
+}
+
+// Selectivity returns the fraction of base rows the view retains
+// under the uniform value model.
+func (v *View) Selectivity(t *Table) float64 {
+	sel := 1.0
+	for _, p := range v.Preds {
+		col := t.Column(p.Column)
+		if col == nil {
+			return 0
+		}
+		sel *= intervalFraction(col, p.Lo, p.Hi)
+	}
+	return sel
+}
+
+// intervalFraction is the fraction of a column's values falling in
+// [lo, hi]: interval length over span for continuous columns, value
+// count over cardinality for integer columns.
+func intervalFraction(col *Column, lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	if lo < col.Min {
+		lo = col.Min
+	}
+	if hi > col.Max {
+		hi = col.Max
+	}
+	switch col.Type {
+	case Int64, Int32, Int16:
+		card := col.Max - col.Min + 1
+		if card <= 0 {
+			return 1
+		}
+		return (hi - lo + 1) / card
+	default:
+		span := col.Max - col.Min
+		if span <= 0 {
+			return 1
+		}
+		return (hi - lo) / span
+	}
+}
+
+// RowWidth returns the byte width of one view row.
+func (v *View) RowWidth(t *Table) int64 {
+	if len(v.Columns) == 0 {
+		return t.RowWidth()
+	}
+	var w int64
+	for _, name := range v.Columns {
+		if c := t.Column(name); c != nil {
+			w += c.Width()
+		}
+	}
+	return w
+}
+
+// Bytes returns the view's logical size.
+func (v *View) Bytes(t *Table) int64 {
+	rows := int64(float64(t.Rows) * v.Selectivity(t))
+	if rows < 1 {
+		rows = 1
+	}
+	return rows * v.RowWidth(t)
+}
+
+// HasColumn reports whether the view carries the named column.
+func (v *View) HasColumn(t *Table, name string) bool {
+	if len(v.Columns) == 0 {
+		return t.Column(name) != nil
+	}
+	for _, c := range v.Columns {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// StandardViews returns the release's materialized views, modeled on
+// the views SkyServer actually publishes: Galaxy and Star (PhotoObj
+// sliced by type), a bright-galaxy subset, and a low-redshift
+// spectroscopic slice.
+func StandardViews(s *Schema) []View {
+	var views []View
+	if po := s.Table("photoobj"); po != nil {
+		views = append(views,
+			View{
+				Name:  "galaxy",
+				Table: po.Name,
+				Preds: []ViewPred{{Column: "type", Lo: 3, Hi: 3}},
+			},
+			View{
+				Name:  "star",
+				Table: po.Name,
+				Preds: []ViewPred{{Column: "type", Lo: 6, Hi: 6}},
+			},
+			View{
+				Name:  "brightgalaxy",
+				Table: po.Name,
+				Preds: []ViewPred{
+					{Column: "type", Lo: 3, Hi: 3},
+					{Column: "modelmag_r", Lo: 12, Hi: 19},
+				},
+			},
+		)
+	}
+	if so := s.Table("specobj"); so != nil {
+		views = append(views, View{
+			Name:  "lowzspec",
+			Table: so.Name,
+			Preds: []ViewPred{{Column: "z", Lo: 0, Hi: 1}},
+		})
+	}
+	return views
+}

@@ -1,0 +1,104 @@
+package catalog
+
+import "testing"
+
+func TestStandardViewsDefined(t *testing.T) {
+	s := EDR()
+	views := StandardViews(s)
+	if len(views) < 4 {
+		t.Fatalf("views = %d, want ≥ 4", len(views))
+	}
+	byName := map[string]*View{}
+	for i := range views {
+		byName[views[i].Name] = &views[i]
+		if s.Table(views[i].Table) == nil {
+			t.Fatalf("view %s over unknown table %s", views[i].Name, views[i].Table)
+		}
+	}
+	for _, want := range []string{"galaxy", "star", "brightgalaxy", "lowzspec"} {
+		if byName[want] == nil {
+			t.Fatalf("missing standard view %s", want)
+		}
+	}
+}
+
+func TestViewSelectivity(t *testing.T) {
+	s := EDR()
+	po := s.Table("photoobj")
+	views := StandardViews(s)
+	var galaxy, bright *View
+	for i := range views {
+		switch views[i].Name {
+		case "galaxy":
+			galaxy = &views[i]
+		case "brightgalaxy":
+			bright = &views[i]
+		}
+	}
+	// type ∈ [3,6] (galaxies and stars dominate the photometric
+	// catalog): the galaxy slice keeps 1/4 of rows.
+	if got := galaxy.Selectivity(po); got < 0.24 || got > 0.26 {
+		t.Fatalf("galaxy selectivity = %v, want ≈ 0.25", got)
+	}
+	// The bright subset must be strictly smaller.
+	if bright.Selectivity(po) >= galaxy.Selectivity(po) {
+		t.Fatal("brightgalaxy should be more selective than galaxy")
+	}
+}
+
+func TestViewBytes(t *testing.T) {
+	s := EDR()
+	po := s.Table("photoobj")
+	for _, v := range StandardViews(s) {
+		if v.Table != po.Name {
+			continue
+		}
+		b := v.Bytes(po)
+		if b <= 0 || b >= po.Bytes() {
+			t.Fatalf("view %s bytes = %d, want in (0, %d)", v.Name, b, po.Bytes())
+		}
+	}
+}
+
+func TestViewRowWidth(t *testing.T) {
+	s := EDR()
+	po := s.Table("photoobj")
+	full := View{Name: "v", Table: po.Name}
+	if full.RowWidth(po) != po.RowWidth() {
+		t.Fatal("empty column list should mean full width")
+	}
+	slim := View{Name: "v", Table: po.Name, Columns: []string{"objid", "ra"}}
+	if slim.RowWidth(po) != 16 {
+		t.Fatalf("slim width = %d, want 16", slim.RowWidth(po))
+	}
+}
+
+func TestViewHasColumn(t *testing.T) {
+	s := EDR()
+	po := s.Table("photoobj")
+	full := View{Name: "v", Table: po.Name}
+	if !full.HasColumn(po, "ra") || full.HasColumn(po, "ghost") {
+		t.Fatal("full view column membership wrong")
+	}
+	slim := View{Name: "v", Table: po.Name, Columns: []string{"ra"}}
+	if !slim.HasColumn(po, "ra") || slim.HasColumn(po, "dec") {
+		t.Fatal("slim view column membership wrong")
+	}
+}
+
+func TestIntervalFraction(t *testing.T) {
+	f := Column{Name: "f", Type: Float64, Min: 0, Max: 100}
+	if got := intervalFraction(&f, 25, 75); got != 0.5 {
+		t.Fatalf("float fraction = %v, want 0.5", got)
+	}
+	i := Column{Name: "i", Type: Int16, Min: 0, Max: 9}
+	if got := intervalFraction(&i, 3, 3); got != 0.1 {
+		t.Fatalf("int point fraction = %v, want 0.1", got)
+	}
+	if got := intervalFraction(&f, 80, 20); got != 0 {
+		t.Fatalf("inverted interval = %v, want 0", got)
+	}
+	if got := intervalFraction(&f, -10, 200); got != 1 {
+		t.Fatalf("clipped interval = %v, want 1", got)
+	}
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"bypassyield/internal/core"
+)
+
+// The basic decision loop: a bypass-yield cache rents (bypasses)
+// until a load pays off, then serves hits.
+func ExampleRateProfile() {
+	table := core.Object{ID: "sky/objects", Size: 1000, FetchCost: 1000, Site: "archive"}
+	cache := core.NewRateProfile(core.RateProfileConfig{Capacity: 2000})
+
+	for t := int64(1); t <= 4; t++ {
+		d := cache.Access(t, table, 600) // each query yields 600 bytes
+		fmt.Printf("query %d: %s\n", t, d)
+	}
+	// Output:
+	// query 1: bypass
+	// query 2: load
+	// query 3: hit
+	// query 4: hit
+}
+
+// Simulator drives any policy over a trace with the paper's flow
+// accounting.
+func ExampleSimulator() {
+	obj := core.Object{ID: "sky/objects", Size: 1000, FetchCost: 1000, Site: "archive"}
+	trace := []core.Request{
+		{Seq: 1, Accesses: []core.Access{{Object: obj.ID, Yield: 600}}},
+		{Seq: 2, Accesses: []core.Access{{Object: obj.ID, Yield: 600}}},
+		{Seq: 3, Accesses: []core.Access{{Object: obj.ID, Yield: 600}}},
+	}
+	sim := &core.Simulator{
+		Policy:  core.NewRateProfile(core.RateProfileConfig{Capacity: 2000}),
+		Objects: map[core.ObjectID]core.Object{obj.ID: obj},
+	}
+	res, err := sim.Run(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("WAN %d bytes (bypass %d + fetch %d), delivered %d\n",
+		res.Acct.WANBytes(), res.Acct.BypassBytes, res.Acct.FetchBytes, res.Acct.DeliveredBytes())
+	// Output:
+	// WAN 1600 bytes (bypass 600 + fetch 1000), delivered 1800
+}
+
+// OnlineBY needs no workload knowledge: it runs one ski-rental per
+// object over a bypass-object caching subroutine.
+func ExampleOnlineBY() {
+	obj := core.Object{ID: "sky/objects", Size: 1000, FetchCost: 1000, Site: "archive"}
+	cache := core.NewOnlineBY(core.NewLandlord(2000))
+
+	for t := int64(1); t <= 3; t++ {
+		fmt.Println(cache.Access(t, obj, 500))
+	}
+	// Output:
+	// bypass
+	// load
+	// hit
+}
+
+// BYU evaluates the paper's eq. 2 for a known query distribution.
+func ExampleBYU() {
+	obj := core.Object{ID: "sky/objects", Size: 1000, FetchCost: 1000}
+	queries := []core.WeightedQuery{
+		{P: 0.6, Yield: 500}, // frequent, selective
+		{P: 0.1, Yield: 1000},
+	}
+	fmt.Printf("BYU = %.2f\n", core.BYU(obj, queries))
+	// Output:
+	// BYU = 0.40
+}

@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+func TestNewPolicyByName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicyByName(name, 1000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: nil policy", name)
+		}
+		// Every constructed policy must handle an access.
+		p.Access(1, testObj("a", 100), 50)
+	}
+}
+
+func TestNewPolicyByNameAliases(t *testing.T) {
+	for alias, want := range map[string]string{
+		"rp":           "rate-profile",
+		"RATE-PROFILE": "rate-profile",
+		"online":       "online-by",
+		"spaceeff":     "space-eff-by",
+		"nocache":      "no-cache",
+	} {
+		p, err := NewPolicyByName(alias, 1000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", alias, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%s → %s, want %s", alias, p.Name(), want)
+		}
+	}
+}
+
+func TestNewPolicyByNameUnknown(t *testing.T) {
+	if _, err := NewPolicyByName("magic", 1000, 1); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+// Grouping analysis for Theorem 5.1 (Section 5.2). Given a query
+// sequence σ, the paper divides the sub-sequence σ_i of queries
+// against each object o_i into groups whose yields sum to exactly the
+// object size (Condition 7), splitting queries fractionally when
+// necessary. Replacing each group with its object gives object(σ) —
+// the very sequence OnlineBY presents to A_obj. Queries left over at
+// the end of σ_i that cannot complete a group form dropped(σ);
+// removing them from σ gives trimmed(σ).
+//
+// This module computes these sequences explicitly. It exists to make
+// the reduction testable: the test suite verifies that each full
+// group's yield fractions sum to s_i, that object(σ) matches the
+// requests OnlineBY actually generates, and that dropped queries'
+// total bypass cost per object is below the fetch cost
+// (Observation 5.3's premise).
+
+// GroupedQuery is a (possibly fractional) query assigned to a group.
+type GroupedQuery struct {
+	// Seq is the originating query's position in σ.
+	Seq int64
+	// Yield is the portion of the query's yield assigned to this
+	// group, in bytes (fractional assignment rounds to whole bytes;
+	// the residual goes to the next group).
+	Yield int64
+}
+
+// Group is one unit of the grouped sequence: consecutive (fractions
+// of) queries against one object whose yields sum to the object size.
+type Group struct {
+	// Object is the referenced object.
+	Object ObjectID
+	// EndSeq is the sequence number of the query at which the group
+	// ends; groups in the grouped sequence are ordered by EndSeq.
+	EndSeq int64
+	// Queries lists the members in σ order.
+	Queries []GroupedQuery
+}
+
+// GroupingResult is the decomposition of a query sequence per
+// Section 5.2.
+type GroupingResult struct {
+	// Groups is grouped(σ) ordered by group end; replacing each group
+	// by its object gives object(σ).
+	Groups []Group
+	// Dropped maps each object to the total yield bytes of its
+	// incomplete trailing group (dropped(σ)).
+	Dropped map[ObjectID]int64
+	// DroppedCost is the total bypass cost of dropped(σ): the traffic
+	// OPT_yield must pay regardless of caching (Observation 5.3).
+	DroppedCost int64
+}
+
+// ObjectSequence returns object(σ): the object of each group in end
+// order.
+func (g *GroupingResult) ObjectSequence() []ObjectID {
+	out := make([]ObjectID, len(g.Groups))
+	for i, grp := range g.Groups {
+		out[i] = grp.Object
+	}
+	return out
+}
+
+// GroupSequence computes the grouped/dropped decomposition of a
+// request trace. Accesses to objects absent from the map are skipped.
+func GroupSequence(reqs []Request, objects map[ObjectID]Object) *GroupingResult {
+	type state struct {
+		acc     int64 // yield bytes accumulated toward the open group
+		queries []GroupedQuery
+	}
+	open := make(map[ObjectID]*state)
+	res := &GroupingResult{Dropped: make(map[ObjectID]int64)}
+
+	for _, req := range reqs {
+		for _, acc := range req.Accesses {
+			obj, ok := objects[acc.Object]
+			if !ok {
+				continue
+			}
+			st := open[acc.Object]
+			if st == nil {
+				st = &state{}
+				open[acc.Object] = st
+			}
+			remaining := acc.Yield
+			// A single query may complete several groups when its
+			// yield exceeds the object size.
+			for st.acc+remaining >= obj.Size {
+				take := obj.Size - st.acc
+				st.queries = append(st.queries, GroupedQuery{Seq: req.Seq, Yield: take})
+				res.Groups = append(res.Groups, Group{
+					Object:  acc.Object,
+					EndSeq:  req.Seq,
+					Queries: st.queries,
+				})
+				st.queries = nil
+				st.acc = 0
+				remaining -= take
+			}
+			if remaining > 0 {
+				st.queries = append(st.queries, GroupedQuery{Seq: req.Seq, Yield: remaining})
+				st.acc += remaining
+			}
+		}
+	}
+	for id, st := range open {
+		if st.acc > 0 {
+			obj := objects[id]
+			res.Dropped[id] = st.acc
+			res.DroppedCost += obj.BypassCost(st.acc)
+		}
+	}
+	return res
+}

@@ -1,0 +1,170 @@
+package core
+
+import "testing"
+
+func TestGDSLoadsEveryMiss(t *testing.T) {
+	// The in-line comparator caches all requests — the behaviour the
+	// paper identifies as the source of its poor network citizenship.
+	g := NewGDS(100)
+	a, b := testObj("a", 60), testObj("b", 60)
+	if d := g.Access(1, a, 1); d != Load {
+		t.Fatalf("miss decision = %v, want load", d)
+	}
+	if d := g.Access(2, b, 1); d != Load {
+		t.Fatalf("miss decision = %v, want load (after evicting a)", d)
+	}
+	if g.Contains(a.ID) {
+		t.Fatal("a should have been evicted")
+	}
+	if g.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", g.Evictions())
+	}
+}
+
+func TestGDSInflation(t *testing.T) {
+	// GDS priorities: H = L + cost/size. After evicting a (H=1),
+	// L rises to 1, so a freshly inserted object outranks the stale
+	// priorities of earlier eras.
+	g := NewGDS(120)
+	a := testObjCost("a", 60, 60)  // H = 0 + 1 = 1
+	b := testObjCost("b", 60, 120) // H = 0 + 2 = 2
+	c := testObjCost("c", 60, 60)  // inserted after eviction: H = 1 + 1 = 2
+	g.Access(1, a, 1)
+	g.Access(2, b, 1)
+	g.Access(3, c, 1) // must evict a (min H = 1), set L = 1
+	if g.Contains(a.ID) || !g.Contains(b.ID) || !g.Contains(c.ID) {
+		t.Fatal("GDS should evict the min-priority object a")
+	}
+	if !almostEqual(g.l, 1) {
+		t.Fatalf("inflation L = %v, want 1", g.l)
+	}
+}
+
+func TestGDSHitRefreshesPriority(t *testing.T) {
+	g := NewGDS(120)
+	a := testObj("a", 60)
+	b := testObj("b", 60)
+	g.Access(1, a, 1)
+	g.Access(2, b, 1)
+	g.Access(3, a, 1) // hit: refresh a's priority
+	// Evicting for c: with equal priorities the heap picks one; after
+	// a's refresh both are H=1 so this only checks no panic and space
+	// accounting.
+	c := testObj("c", 60)
+	g.Access(4, c, 1)
+	if g.Used() != 120 {
+		t.Fatalf("used = %d, want 120", g.Used())
+	}
+}
+
+func TestGDSOversizedBypasses(t *testing.T) {
+	g := NewGDS(100)
+	big := testObj("big", 200)
+	if d := g.Access(1, big, 10); d != Bypass {
+		t.Fatalf("oversized = %v, want bypass (forced)", d)
+	}
+}
+
+func TestGDSPFrequencyPreference(t *testing.T) {
+	// GDSP weighs priority by reference count: a frequently accessed
+	// object outranks an equally sized infrequent one.
+	g := NewGDSP(120)
+	hot, cold := testObj("hot", 60), testObj("cold", 60)
+	g.Access(1, hot, 1)
+	g.Access(2, hot, 1)
+	g.Access(3, hot, 1)  // freq 3, priority 3
+	g.Access(4, cold, 1) // freq 1, priority 1
+	g.Access(5, testObj("new", 60), 1)
+	if !g.Contains(hot.ID) {
+		t.Fatal("hot object evicted despite high frequency")
+	}
+	if g.Contains(cold.ID) {
+		t.Fatal("cold object should have been the victim")
+	}
+}
+
+func TestGDSPRemembersEvictedFrequency(t *testing.T) {
+	// GDSP retains frequency for all objects in the reference stream,
+	// so a re-loaded object resumes its count.
+	g := NewGDSP(60)
+	a, b := testObj("a", 60), testObj("b", 60)
+	g.Access(1, a, 1)
+	g.Access(2, a, 1) // freq 2
+	g.Access(3, b, 1) // evicts a
+	g.Access(4, a, 1) // re-load; freq resumes at 3
+	if got := g.freq[a.ID]; got != 3 {
+		t.Fatalf("frequency = %d, want 3 (retained across eviction)", got)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	l := NewLRU(120)
+	a, b, c := testObj("a", 60), testObj("b", 60), testObj("c", 60)
+	l.Access(1, a, 1)
+	l.Access(2, b, 1)
+	l.Access(3, a, 1) // refresh a
+	l.Access(4, c, 1) // must evict b (oldest)
+	if l.Contains(b.ID) {
+		t.Fatal("b should be the LRU victim")
+	}
+	if !l.Contains(a.ID) || !l.Contains(c.ID) {
+		t.Fatal("a and c should be cached")
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	l := NewLFU(120)
+	a, b, c := testObj("a", 60), testObj("b", 60), testObj("c", 60)
+	l.Access(1, a, 1)
+	l.Access(2, a, 1)
+	l.Access(3, b, 1)
+	l.Access(4, c, 1) // b has count 1, a has 2 → evict b
+	if l.Contains(b.ID) {
+		t.Fatal("b should be the LFU victim")
+	}
+	if !l.Contains(a.ID) {
+		t.Fatal("a should survive")
+	}
+}
+
+func TestInlineResetClearsExtraState(t *testing.T) {
+	g := NewGDSP(100)
+	g.Access(1, testObj("a", 50), 1)
+	g.Reset()
+	if len(g.freq) != 0 || g.l != 0 || g.Used() != 0 {
+		t.Fatal("GDSP Reset incomplete")
+	}
+	lfu := NewLFU(100)
+	lfu.Access(1, testObj("a", 50), 1)
+	lfu.Reset()
+	if len(lfu.count) != 0 || lfu.Used() != 0 {
+		t.Fatal("LFU Reset incomplete")
+	}
+	gds := NewGDS(100)
+	gds.Access(1, testObj("a", 50), 1)
+	gds.Access(2, testObj("b", 80), 1) // force eviction: raises L
+	gds.Reset()
+	if gds.l != 0 || gds.Used() != 0 {
+		t.Fatal("GDS Reset incomplete")
+	}
+}
+
+func TestInlineCacheNamesAndCapacity(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		name string
+	}{
+		{NewGDS(10), "gds"},
+		{NewGDSP(10), "gdsp"},
+		{NewLRU(10), "lru"},
+		{NewLFU(10), "lfu"},
+	}
+	for _, tc := range cases {
+		if tc.p.Name() != tc.name {
+			t.Fatalf("Name = %q, want %q", tc.p.Name(), tc.name)
+		}
+		if tc.p.Capacity() != 10 {
+			t.Fatalf("%s Capacity = %d, want 10", tc.name, tc.p.Capacity())
+		}
+	}
+}

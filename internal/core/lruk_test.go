@@ -1,0 +1,73 @@
+package core
+
+import "testing"
+
+func TestLRUKPrefersFrequentlyReferenced(t *testing.T) {
+	// The classic LRU-K scenario: a frequently re-referenced object
+	// must survive a recently touched one-off, where plain LRU would
+	// evict it.
+	l := NewLRUK(120, 2)
+	hot, scan := testObj("hot", 60), testObj("scan", 60)
+	l.Access(1, hot, 1)
+	l.Access(2, hot, 1) // hot has a full 2-history
+	l.Access(3, scan, 1)
+	// A new object forces an eviction: scan (one reference, infinite
+	// backward 2-distance) must go despite being more recent than
+	// hot's 2nd reference.
+	l.Access(4, testObj("new", 60), 1)
+	if !l.Contains(hot.ID) {
+		t.Fatal("hot object evicted despite full K-history")
+	}
+	if l.Contains(scan.ID) {
+		t.Fatal("one-off scan object should be the victim")
+	}
+}
+
+func TestLRUKHistoryRetainedAcrossEviction(t *testing.T) {
+	l := NewLRUK(60, 2)
+	a := testObj("a", 60)
+	l.Access(1, a, 1)
+	l.Access(2, a, 1)
+	l.Access(3, testObj("b", 60), 1) // evicts a
+	if l.Contains(a.ID) {
+		t.Fatal("a should be evicted")
+	}
+	if len(l.hist[a.ID]) != 2 {
+		t.Fatalf("history lost on eviction: %v", l.hist[a.ID])
+	}
+}
+
+func TestLRUKDegradesToLRUWithK1(t *testing.T) {
+	l := NewLRUK(120, 1)
+	a, b, c := testObj("a", 60), testObj("b", 60), testObj("c", 60)
+	l.Access(1, a, 1)
+	l.Access(2, b, 1)
+	l.Access(3, a, 1) // refresh a
+	l.Access(4, c, 1) // LRU victim is b
+	if l.Contains(b.ID) {
+		t.Fatal("b should be the LRU victim at k=1")
+	}
+}
+
+func TestLRUKZeroKClamped(t *testing.T) {
+	l := NewLRUK(100, 0)
+	if l.k != 1 {
+		t.Fatalf("k = %d, want clamped to 1", l.k)
+	}
+}
+
+func TestLRUKReset(t *testing.T) {
+	l := NewLRUK(100, 2)
+	l.Access(1, testObj("a", 50), 1)
+	l.Reset()
+	if l.Used() != 0 || len(l.hist) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestLRUKOversized(t *testing.T) {
+	l := NewLRUK(100, 2)
+	if d := l.Access(1, testObj("big", 200), 1); d != Bypass {
+		t.Fatalf("oversized = %v, want bypass", d)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// This file implements the yield-sensitive cache utility metrics of
+// Section 3: byte-yield hit rate (BYHR, eq. 1) and byte-yield utility
+// (BYU, eq. 2). Both are defined over a probability distribution of
+// queries against an object; the Rate-Profile algorithm estimates the
+// distribution from observed workload, while these functions compute
+// the metrics exactly for a known distribution (used by tests, the
+// static analyzer, and documentation examples).
+
+// WeightedQuery is one query against an object: its occurrence
+// probability and its yield in bytes.
+type WeightedQuery struct {
+	// P is the query's occurrence probability, in [0, 1].
+	P float64
+	// Yield is the query's result size in bytes.
+	Yield int64
+}
+
+// BYHR computes the byte-yield hit rate of an object under a query
+// distribution (eq. 1):
+//
+//	BYHR_i = Σ_j p_ij · y_ij · f_i / s_i²
+//
+// It measures the rate of network-bandwidth reduction per byte of
+// cache space. Every object in the federation has a BYHR whether
+// cached or not.
+func BYHR(obj Object, queries []WeightedQuery) float64 {
+	s := float64(obj.Size)
+	f := float64(obj.FetchCost)
+	var sum float64
+	for _, q := range queries {
+		sum += q.P * float64(q.Yield)
+	}
+	return sum * f / (s * s)
+}
+
+// BYU computes the byte-yield utility of an object under a query
+// distribution (eq. 2):
+//
+//	BYU_i = Σ_j p_ij · y_ij / s_i
+//
+// BYU is the simplification of BYHR for environments where fetch cost
+// is proportional to object size (single server, collocated servers,
+// or uniform networks). BYU degenerates to hit rate in the page model
+// (constant sizes, yield equal to object size) and BYHR degenerates to
+// GDSP's utility in the object model.
+func BYU(obj Object, queries []WeightedQuery) float64 {
+	s := float64(obj.Size)
+	var sum float64
+	for _, q := range queries {
+		sum += q.P * float64(q.Yield)
+	}
+	return sum / s
+}

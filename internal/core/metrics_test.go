@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestBYHRHandComputed(t *testing.T) {
+	// Object: size 100, fetch 200. Queries: p=0.5 yield 40, p=0.25
+	// yield 80. BYHR = (0.5·40 + 0.25·80)·200 / 100² = 40·200/10000 = 0.8.
+	obj := testObjCost("a", 100, 200)
+	qs := []WeightedQuery{{P: 0.5, Yield: 40}, {P: 0.25, Yield: 80}}
+	if got := BYHR(obj, qs); !almostEqual(got, 0.8) {
+		t.Fatalf("BYHR = %v, want 0.8", got)
+	}
+}
+
+func TestBYUHandComputed(t *testing.T) {
+	// BYU = (0.5·40 + 0.25·80)/100 = 0.4.
+	obj := testObjCost("a", 100, 200)
+	qs := []WeightedQuery{{P: 0.5, Yield: 40}, {P: 0.25, Yield: 80}}
+	if got := BYU(obj, qs); !almostEqual(got, 0.4) {
+		t.Fatalf("BYU = %v, want 0.4", got)
+	}
+}
+
+func TestBYHRReducesToBYUTimesCostRatio(t *testing.T) {
+	// BYHR = BYU · f/s always; with f = s they coincide.
+	f := func(size uint16, fetch uint16, p1, p2 float64, y1, y2 uint16) bool {
+		s := int64(size%1000) + 1
+		fc := int64(fetch%1000) + 1
+		obj := testObjCost("a", s, fc)
+		qs := []WeightedQuery{
+			{P: math.Abs(p1 - math.Trunc(p1)), Yield: int64(y1)},
+			{P: math.Abs(p2 - math.Trunc(p2)), Yield: int64(y2)},
+		}
+		return almostEqual(BYHR(obj, qs), BYU(obj, qs)*float64(fc)/float64(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBYUDegeneratesToHitRate(t *testing.T) {
+	// Page model: all yields equal the object size. BYU = Σ p_j — the
+	// object's aggregate access probability, i.e. its expected hit
+	// contribution.
+	obj := testObj("a", 4096)
+	qs := []WeightedQuery{{P: 0.3, Yield: 4096}, {P: 0.2, Yield: 4096}}
+	if got := BYU(obj, qs); !almostEqual(got, 0.5) {
+		t.Fatalf("BYU = %v, want 0.5 (aggregate probability)", got)
+	}
+}
+
+func TestBYHRDegeneratesToGDSPUtility(t *testing.T) {
+	// Object model: yield equals object size. BYHR = (Σ p_j)·f/s — the
+	// frequency-weighted cost/size utility GDSP uses.
+	obj := testObjCost("a", 100, 300)
+	qs := []WeightedQuery{{P: 0.1, Yield: 100}, {P: 0.3, Yield: 100}}
+	want := 0.4 * 300.0 / 100.0
+	if got := BYHR(obj, qs); !almostEqual(got, want) {
+		t.Fatalf("BYHR = %v, want %v", got, want)
+	}
+}
+
+func TestMetricsEmptyDistribution(t *testing.T) {
+	obj := testObj("a", 10)
+	if BYHR(obj, nil) != 0 || BYU(obj, nil) != 0 {
+		t.Fatal("empty distribution should give zero utility")
+	}
+}
+
+func TestMetricsPreferHigherYieldPerByte(t *testing.T) {
+	// Two objects with the same workload probability mass; the one
+	// yielding more bytes per byte of cache space must score higher —
+	// the first component of BYHR in the paper's decomposition.
+	small := testObj("small", 100)
+	big := testObj("big", 10000)
+	qs := []WeightedQuery{{P: 0.5, Yield: 90}}
+	if BYU(small, qs) <= BYU(big, qs) {
+		t.Fatal("BYU must prefer the object with higher yield per byte of cache")
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"sort"
+
+	"bypassyield/internal/bheap"
+)
+
+// ObjAction is the outcome of presenting a whole-object request to a
+// bypass-object cacher.
+type ObjAction uint8
+
+const (
+	// ObjHit: the object was already cached.
+	ObjHit ObjAction = iota
+	// ObjLoad: the object was fetched into the cache.
+	ObjLoad
+	// ObjBypass: the request was served at the server; the cache is
+	// unchanged.
+	ObjBypass
+)
+
+// ObjectCacher is an algorithm for the bypass-object caching problem
+// of Section 5.1: a request sequence of whole objects with varying
+// sizes and fetch costs, where a miss may either fetch the object
+// (possibly evicting others) or bypass to the server, both at cost
+// f_i. OnlineBY and SpaceEffBY reduce bypass-yield caching to this
+// problem and maintain their caches exactly as the subroutine (the
+// paper's A_obj) does.
+type ObjectCacher interface {
+	// Name identifies the subroutine in reports.
+	Name() string
+	// Request presents a whole-object request and returns the action
+	// taken.
+	Request(obj Object) ObjAction
+	// Contains reports whether the object is cached.
+	Contains(id ObjectID) bool
+	// Used reports bytes currently cached.
+	Used() int64
+	// Capacity reports the cache size in bytes.
+	Capacity() int64
+	// Evictions reports cumulative evictions.
+	Evictions() int64
+	// Reset restores the initial empty state.
+	Reset()
+}
+
+// Landlord is Young's k-competitive cost-aware caching algorithm,
+// used as the default deterministic A_obj (the abstract's
+// "k-competitive deterministic algorithm"). Each cached object holds
+// credit, initially its fetch cost; to make space the algorithm
+// decreases every object's credit by δ·size where δ is the minimum
+// credit-per-byte, and evicts objects whose credit reaches zero. A hit
+// refreshes the object's credit to its fetch cost.
+//
+// The implementation uses the standard offset trick: credits are
+// stored as credit-per-byte ratios in a min-heap and a global offset L
+// rises on eviction, so the uniform decrement is O(1) and each
+// operation is O(log n).
+type Landlord struct {
+	cap       int64
+	used      int64
+	offset    float64
+	heap      *bheap.Heap
+	evictions int64
+}
+
+// NewLandlord returns a Landlord cacher with the given capacity.
+func NewLandlord(capacity int64) *Landlord {
+	return &Landlord{cap: capacity, heap: bheap.New(64)}
+}
+
+// Name implements ObjectCacher.
+func (l *Landlord) Name() string { return "landlord" }
+
+// Capacity implements ObjectCacher.
+func (l *Landlord) Capacity() int64 { return l.cap }
+
+// Used implements ObjectCacher.
+func (l *Landlord) Used() int64 { return l.used }
+
+// Evictions implements ObjectCacher.
+func (l *Landlord) Evictions() int64 { return l.evictions }
+
+// Contains implements ObjectCacher.
+func (l *Landlord) Contains(id ObjectID) bool { return l.heap.Contains(string(id)) }
+
+// Contents implements core.ContentLister.
+func (l *Landlord) Contents() []ObjectID {
+	items := l.heap.Items()
+	ids := make([]ObjectID, len(items))
+	for i, it := range items {
+		ids[i] = ObjectID(it.Key)
+	}
+	return ids
+}
+
+// Reset implements ObjectCacher.
+func (l *Landlord) Reset() {
+	l.used = 0
+	l.offset = 0
+	l.evictions = 0
+	l.heap = bheap.New(64)
+}
+
+// Credit returns the effective remaining credit of a cached object
+// (exposed for invariant tests); ok is false if the object is absent.
+func (l *Landlord) Credit(id ObjectID) (credit float64, ok bool) {
+	it := l.heap.Get(string(id))
+	if it == nil {
+		return 0, false
+	}
+	obj := it.Value.(Object)
+	return (it.Utility - l.offset) * float64(obj.Size), true
+}
+
+// Request implements ObjectCacher.
+func (l *Landlord) Request(obj Object) ObjAction {
+	key := string(obj.ID)
+	perByte := float64(obj.FetchCost) / float64(obj.Size)
+	if l.heap.Contains(key) {
+		// Refresh credit to the fetch cost.
+		l.heap.Update(key, l.offset+perByte)
+		return ObjHit
+	}
+	if obj.Size > l.cap {
+		return ObjBypass
+	}
+	for l.used+obj.Size > l.cap {
+		min := l.heap.PopMin()
+		l.offset = min.Utility // uniform credit decrement
+		victim := min.Value.(Object)
+		l.used -= victim.Size
+		l.evictions++
+	}
+	l.heap.Push(key, l.offset+perByte, obj)
+	l.used += obj.Size
+	return ObjLoad
+}
+
+// SizeClassMarking is an adaptation of Irani's O(lg²k)-competitive
+// optional multi-size paging scheme: objects are rounded to
+// power-of-two size classes and a marking algorithm runs over the
+// cache. A hit marks the object. On a miss the algorithm evicts
+// unmarked objects (smallest size class first) to make space; if the
+// marked objects alone exceed the required residual space the request
+// is bypassed, and once the bypassed fetch volume within the current
+// phase exceeds the cache size a new phase begins (all marks are
+// cleared).
+//
+// Irani's exact optional-paging construction appears in a technical
+// report that is not available; this adaptation preserves its
+// structural ingredients (size classes, marking phases, the option to
+// bypass rather than thrash) and is offered as an alternative A_obj
+// for ablation. No competitive bound is claimed for it.
+type SizeClassMarking struct {
+	cap         int64
+	used        int64
+	entries     map[ObjectID]*scmEntry
+	phaseBypass int64
+	evictions   int64
+}
+
+type scmEntry struct {
+	obj    Object
+	marked bool
+	class  int
+}
+
+// NewSizeClassMarking returns a size-class marking cacher with the
+// given capacity.
+func NewSizeClassMarking(capacity int64) *SizeClassMarking {
+	return &SizeClassMarking{cap: capacity, entries: make(map[ObjectID]*scmEntry)}
+}
+
+// Name implements ObjectCacher.
+func (m *SizeClassMarking) Name() string { return "size-class-marking" }
+
+// Capacity implements ObjectCacher.
+func (m *SizeClassMarking) Capacity() int64 { return m.cap }
+
+// Used implements ObjectCacher.
+func (m *SizeClassMarking) Used() int64 { return m.used }
+
+// Evictions implements ObjectCacher.
+func (m *SizeClassMarking) Evictions() int64 { return m.evictions }
+
+// Contains implements ObjectCacher.
+func (m *SizeClassMarking) Contains(id ObjectID) bool {
+	_, ok := m.entries[id]
+	return ok
+}
+
+// Reset implements ObjectCacher.
+func (m *SizeClassMarking) Reset() {
+	m.used = 0
+	m.phaseBypass = 0
+	m.evictions = 0
+	m.entries = make(map[ObjectID]*scmEntry)
+}
+
+func sizeClass(size int64) int {
+	c := 0
+	for s := int64(1); s < size; s <<= 1 {
+		c++
+	}
+	return c
+}
+
+// Request implements ObjectCacher.
+func (m *SizeClassMarking) Request(obj Object) ObjAction {
+	if e, ok := m.entries[obj.ID]; ok {
+		e.marked = true
+		return ObjHit
+	}
+	if obj.Size > m.cap {
+		return ObjBypass
+	}
+	needed := obj.Size - (m.cap - m.used)
+	if needed > 0 {
+		victims, freed := m.unmarkedVictims(needed)
+		if freed < needed {
+			// Marked objects alone exceed the residual space: bypass,
+			// and advance the phase once enough fetch volume has been
+			// refused.
+			m.phaseBypass += obj.FetchCost
+			if m.phaseBypass >= m.cap {
+				m.newPhase()
+			}
+			return ObjBypass
+		}
+		for _, id := range victims {
+			m.evict(id)
+		}
+	}
+	m.entries[obj.ID] = &scmEntry{obj: obj, marked: true, class: sizeClass(obj.Size)}
+	m.used += obj.Size
+	return ObjLoad
+}
+
+// unmarkedVictims selects unmarked entries, smallest size class first,
+// until `needed` bytes are freed.
+func (m *SizeClassMarking) unmarkedVictims(needed int64) (victims []ObjectID, freed int64) {
+	type cand struct {
+		id    ObjectID
+		class int
+		size  int64
+	}
+	var cands []cand
+	for id, e := range m.entries {
+		if !e.marked {
+			cands = append(cands, cand{id, e.class, e.obj.Size})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].class != cands[j].class {
+			return cands[i].class < cands[j].class
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if freed >= needed {
+			break
+		}
+		victims = append(victims, c.id)
+		freed += c.size
+	}
+	return victims, freed
+}
+
+func (m *SizeClassMarking) newPhase() {
+	m.phaseBypass = 0
+	for _, e := range m.entries {
+		e.marked = false
+	}
+}
+
+func (m *SizeClassMarking) evict(id ObjectID) {
+	e := m.entries[id]
+	delete(m.entries, id)
+	m.used -= e.obj.Size
+	m.evictions++
+}

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// Policy is a cache-management algorithm in the bypass-yield model.
+// The simulator presents each access in trace order; the policy
+// returns the decision and mutates its internal cache state
+// accordingly. Implementations are single-goroutine: the simulator
+// never calls a policy concurrently.
+type Policy interface {
+	// Name identifies the policy in reports ("rate-profile",
+	// "online-by", ...).
+	Name() string
+	// Access presents one access at time t (the query sequence
+	// number). The returned decision determines the traffic charged
+	// by the simulator: Hit → 0 WAN, Bypass → obj.BypassCost(yield),
+	// Load → obj.FetchCost (and the access is then served in cache).
+	Access(t int64, obj Object, yield int64) Decision
+	// Used reports the bytes currently occupied in the cache.
+	Used() int64
+	// Capacity reports the cache size in bytes.
+	Capacity() int64
+	// Contains reports whether the object is currently cached.
+	Contains(id ObjectID) bool
+	// Evictions reports the cumulative number of evictions.
+	Evictions() int64
+	// Reset restores the policy to its initial empty state so the
+	// same instance can be reused across runs.
+	Reset()
+}
+
+// ContentLister is an optional interface policies implement to expose
+// their current cache contents for observability (the proxy's stats
+// endpoint reports them).
+type ContentLister interface {
+	// Contents returns the cached object ids in unspecified order.
+	Contents() []ObjectID
+}
+
+// Result is the outcome of simulating one policy over one trace.
+type Result struct {
+	// Policy is the policy's name.
+	Policy string
+	// Acct holds the aggregate flow accounting.
+	Acct Accounting
+	// Curve samples cumulative WAN bytes after every CurveStride
+	// requests (index 0 is after the first stride). The final total
+	// is always appended so Curve never under-reports.
+	Curve []int64
+	// CurveStride is the sampling interval, in requests.
+	CurveStride int64
+}
+
+// Simulator drives a policy over a trace with full flow accounting.
+type Simulator struct {
+	// Policy is the algorithm under test.
+	Policy Policy
+	// Objects resolves accesses to object descriptors. Every access's
+	// ObjectID must be present.
+	Objects map[ObjectID]Object
+	// CurveStride is the cumulative-cost sampling interval in
+	// requests; 0 disables curve collection.
+	CurveStride int64
+}
+
+// Run simulates the trace and returns the result. The policy is NOT
+// reset first; callers compose multi-trace runs by calling Run
+// repeatedly or call Policy.Reset between independent runs.
+func (s *Simulator) Run(reqs []Request) (*Result, error) {
+	res := &Result{Policy: s.Policy.Name(), CurveStride: s.CurveStride}
+	a := &res.Acct
+	evBefore := s.Policy.Evictions()
+	for i, req := range reqs {
+		a.Queries++
+		for _, acc := range req.Accesses {
+			obj, ok := s.Objects[acc.Object]
+			if !ok {
+				return nil, &UnknownObjectError{ID: acc.Object, Seq: req.Seq}
+			}
+			d := s.Policy.Access(req.Seq, obj, acc.Yield)
+			if err := Account(a, obj, acc.Yield, d); err != nil {
+				return nil, &BadDecisionError{Policy: s.Policy.Name(), Decision: d}
+			}
+		}
+		if s.CurveStride > 0 && int64(i+1)%s.CurveStride == 0 {
+			res.Curve = append(res.Curve, a.WANBytes())
+		}
+	}
+	if s.CurveStride > 0 && (len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != a.WANBytes()) {
+		res.Curve = append(res.Curve, a.WANBytes())
+	}
+	a.Evictions = s.Policy.Evictions() - evBefore
+	return res, nil
+}
+
+// UnknownObjectError reports an access to an object absent from the
+// simulator's object map.
+type UnknownObjectError struct {
+	ID  ObjectID
+	Seq int64
+}
+
+func (e *UnknownObjectError) Error() string {
+	return fmt.Sprintf("core: access at seq %d references unknown object %s", e.Seq, e.ID)
+}
+
+// BadDecisionError reports a policy returning an out-of-range decision.
+type BadDecisionError struct {
+	Policy   string
+	Decision Decision
+}
+
+func (e *BadDecisionError) Error() string {
+	return fmt.Sprintf("core: policy %s returned invalid decision %s", e.Policy, e.Decision)
+}

@@ -1,0 +1,175 @@
+package core
+
+import "sort"
+
+// RateProfileConfig parameterizes the Rate-Profile policy.
+type RateProfileConfig struct {
+	// Capacity is the cache size in bytes.
+	Capacity int64
+	// Episodes configures episode division and aging for out-of-cache
+	// profiles; the zero value selects the paper's parameters
+	// (c = 0.5, k = 1000).
+	Episodes EpisodeConfig
+	// MaxProfiles bounds out-of-cache metadata (pruning); zero means
+	// a generous default.
+	MaxProfiles int
+}
+
+// RateProfile is the workload-driven bypass-yield algorithm of
+// Section 4. Cached objects carry a rate profile (RP, eq. 3) — the
+// measured rate of network savings over their cache lifetime — and
+// uncached objects carry an episode-based load-adjusted rate (LAR,
+// eqs. 4–6) estimating the savings rate they would achieve if loaded.
+// On a miss the candidate's LAR is compared against the RPs of the
+// would-be victims: the object is loaded only if every victim
+// currently saves at a lower rate than the candidate is expected to;
+// otherwise the access is bypassed. Load cost is charged to LAR (an
+// investment) but not to RP (a sunk cost), which keeps evictions
+// conservative, as the paper requires.
+type RateProfile struct {
+	cfg       RateProfileConfig
+	used      int64
+	entries   map[ObjectID]*rpEntry
+	profiles  *profileTable
+	evictions int64
+}
+
+type rpEntry struct {
+	obj      Object
+	loadTime int64
+	sumYield int64
+}
+
+// rp evaluates eq. 3 at time t. As with LARP, the first access after
+// load uses a one-query interval.
+func (e *rpEntry) rp(t int64) float64 {
+	dt := t - e.loadTime
+	if dt < 1 {
+		dt = 1
+	}
+	return float64(e.sumYield) / (float64(dt) * float64(e.obj.Size))
+}
+
+// NewRateProfile returns a Rate-Profile policy with the given
+// configuration.
+func NewRateProfile(cfg RateProfileConfig) *RateProfile {
+	cfg.Episodes.fill()
+	return &RateProfile{
+		cfg:      cfg,
+		entries:  make(map[ObjectID]*rpEntry),
+		profiles: newProfileTable(cfg.Episodes, cfg.MaxProfiles),
+	}
+}
+
+// Name implements Policy.
+func (r *RateProfile) Name() string { return "rate-profile" }
+
+// Used implements Policy.
+func (r *RateProfile) Used() int64 { return r.used }
+
+// Capacity implements Policy.
+func (r *RateProfile) Capacity() int64 { return r.cfg.Capacity }
+
+// Contains implements Policy.
+func (r *RateProfile) Contains(id ObjectID) bool {
+	_, ok := r.entries[id]
+	return ok
+}
+
+// Evictions implements Policy.
+func (r *RateProfile) Evictions() int64 { return r.evictions }
+
+// Reset implements Policy.
+func (r *RateProfile) Reset() {
+	r.used = 0
+	r.evictions = 0
+	r.entries = make(map[ObjectID]*rpEntry)
+	r.profiles.reset()
+}
+
+// ProfileCount reports the number of out-of-cache profiles retained
+// (exposed for tests of the pruning bound).
+func (r *RateProfile) ProfileCount() int { return r.profiles.size() }
+
+// Contents implements ContentLister.
+func (r *RateProfile) Contents() []ObjectID {
+	ids := make([]ObjectID, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Access implements Policy.
+func (r *RateProfile) Access(t int64, obj Object, yield int64) Decision {
+	if e, ok := r.entries[obj.ID]; ok {
+		e.sumYield += yield
+		return Hit
+	}
+	lar := r.profiles.observe(t, obj, yield)
+	if obj.Size > r.cfg.Capacity {
+		return Bypass
+	}
+	needed := obj.Size - (r.cfg.Capacity - r.used)
+	if needed <= 0 {
+		if lar <= 0 {
+			return Bypass
+		}
+		r.load(t, obj, yield)
+		return Load
+	}
+	victims, maxRP, freed := r.selectVictims(t, needed)
+	if freed < needed || maxRP >= lar {
+		return Bypass
+	}
+	for _, id := range victims {
+		r.evict(id)
+	}
+	r.load(t, obj, yield)
+	return Load
+}
+
+// selectVictims returns the lowest-RP cached objects whose combined
+// size frees at least `needed` bytes, together with the maximum RP in
+// the victim set and the total bytes freed.
+func (r *RateProfile) selectVictims(t, needed int64) (victims []ObjectID, maxRP float64, freed int64) {
+	type cand struct {
+		id   ObjectID
+		rp   float64
+		size int64
+	}
+	cands := make([]cand, 0, len(r.entries))
+	for id, e := range r.entries {
+		cands = append(cands, cand{id, e.rp(t), e.obj.Size})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rp != cands[j].rp {
+			return cands[i].rp < cands[j].rp
+		}
+		return cands[i].id < cands[j].id // deterministic tie-break
+	})
+	for _, c := range cands {
+		if freed >= needed {
+			break
+		}
+		victims = append(victims, c.id)
+		freed += c.size
+		if c.rp > maxRP {
+			maxRP = c.rp
+		}
+	}
+	return victims, maxRP, freed
+}
+
+func (r *RateProfile) load(t int64, obj Object, yield int64) {
+	r.profiles.onLoad(obj.ID)
+	r.entries[obj.ID] = &rpEntry{obj: obj, loadTime: t, sumYield: yield}
+	r.used += obj.Size
+}
+
+func (r *RateProfile) evict(id ObjectID) {
+	e := r.entries[id]
+	delete(r.entries, id)
+	r.used -= e.obj.Size
+	r.evictions++
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The scripted scenario from DESIGN.md §7: two objects of size 100 on
+// a cache of 100 bytes, uniform network. Hand-computed decisions.
+func TestRateProfileScriptedScenario(t *testing.T) {
+	a := testObj("a", 100)
+	b := testObj("b", 100)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+
+	// t=1: first access to a, LAR = (100−100)/100 = 0 → not positive
+	// → bypass (rent before buying).
+	if d := rp.Access(1, a, 100); d != Bypass {
+		t.Fatalf("t=1 decision = %v, want bypass", d)
+	}
+	// t=2: LARP = 200/(1·100) − 1 = 1.0 → LAR 1.0 > 0, free space →
+	// load.
+	if d := rp.Access(2, a, 100); d != Load {
+		t.Fatalf("t=2 decision = %v, want load", d)
+	}
+	if !rp.Contains(a.ID) || rp.Used() != 100 {
+		t.Fatalf("cache state after load: contains=%v used=%d", rp.Contains(a.ID), rp.Used())
+	}
+	// t=3: a cached → hit.
+	if d := rp.Access(3, a, 50); d != Hit {
+		t.Fatalf("t=3 decision = %v, want hit", d)
+	}
+	// t=4: b first access, LAR = 0; victim a has RP = 150/((4−2)·100)
+	// = 0.75 ≥ 0 → bypass.
+	if d := rp.Access(4, b, 100); d != Bypass {
+		t.Fatalf("t=4 decision = %v, want bypass", d)
+	}
+	// t=5: b again, LARP = 200/(1·100) − 1 = 1.0 → LAR 1.0; victim a
+	// has RP = 150/((5−2)·100) = 0.5 < 1.0 → evict a, load b.
+	if d := rp.Access(5, b, 100); d != Load {
+		t.Fatalf("t=5 decision = %v, want load", d)
+	}
+	if rp.Contains(a.ID) || !rp.Contains(b.ID) {
+		t.Fatal("expected a evicted and b cached")
+	}
+	if rp.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", rp.Evictions())
+	}
+}
+
+func TestRateProfileHitUpdatesRP(t *testing.T) {
+	a := testObj("a", 100)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+	rp.Access(1, a, 100)
+	rp.Access(2, a, 100) // load
+	rp.Access(3, a, 70)  // hit
+	e := rp.entries[a.ID]
+	if e.sumYield != 170 {
+		t.Fatalf("sumYield = %d, want 170 (load access 100 + hit 70)", e.sumYield)
+	}
+	// RP at t=4: 170/((4−2)·100) = 0.85.
+	if got := e.rp(4); !almostEqual(got, 0.85) {
+		t.Fatalf("rp(4) = %v, want 0.85", got)
+	}
+}
+
+func TestRateProfileObjectLargerThanCache(t *testing.T) {
+	big := testObj("big", 1000)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+	for i := int64(1); i <= 10; i++ {
+		if d := rp.Access(i, big, 1000); d != Bypass {
+			t.Fatalf("oversized object decision = %v, want bypass", d)
+		}
+	}
+	if rp.Used() != 0 {
+		t.Fatal("oversized object must never occupy the cache")
+	}
+}
+
+func TestRateProfileTimeDecaysRP(t *testing.T) {
+	// A cached but idle object's RP decays with time, so a hot
+	// candidate eventually displaces it.
+	a := testObj("a", 100)
+	b := testObj("b", 100)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+	rp.Access(1, a, 100)
+	rp.Access(2, a, 100) // a loaded, sumYield 100
+	// Long idle period; at t=1000, RP_a = 100/(998·100) ≈ 0.001.
+	// Burst on b: two accesses raise its LAR above RP_a.
+	rp.Access(1000, b, 100) // bypass (first LAR = 0)
+	if d := rp.Access(1001, b, 100); d != Load {
+		t.Fatalf("hot candidate not loaded over idle victim: %v", d)
+	}
+	if rp.Contains(a.ID) {
+		t.Fatal("idle object should have been evicted")
+	}
+}
+
+func TestRateProfileConservativeEviction(t *testing.T) {
+	// A performing cached object must not be evicted for a candidate
+	// with lower expected rate. a is hot in cache; b trickles.
+	a := testObj("a", 100)
+	b := testObj("b", 100)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+	rp.Access(1, a, 100)
+	rp.Access(2, a, 100) // load a
+	for i := int64(3); i <= 50; i++ {
+		if i%2 == 1 {
+			rp.Access(i, a, 100) // keep a hot (RP stays high)
+		} else {
+			if d := rp.Access(i, b, 10); d != Bypass {
+				t.Fatalf("t=%d: low-rate candidate decision = %v, want bypass", i, d)
+			}
+		}
+	}
+	if !rp.Contains(a.ID) {
+		t.Fatal("hot object was evicted by a cold candidate")
+	}
+}
+
+func TestRateProfileMultiVictim(t *testing.T) {
+	// Loading a large object may require evicting several small ones;
+	// all victims must have RP below the candidate LAR.
+	s1, s2 := testObj("s1", 50), testObj("s2", 50)
+	big := testObj("big", 100)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+	// Load both small objects.
+	rp.Access(1, s1, 50)
+	rp.Access(2, s1, 50) // load s1
+	rp.Access(3, s2, 50)
+	rp.Access(4, s2, 50) // load s2
+	if rp.Used() != 100 {
+		t.Fatalf("used = %d, want 100", rp.Used())
+	}
+	// Let both go idle, then burst on big.
+	rp.Access(500, big, 100)
+	d := rp.Access(501, big, 100)
+	if d != Load {
+		t.Fatalf("decision = %v, want load after burst", d)
+	}
+	if rp.Contains(s1.ID) || rp.Contains(s2.ID) || !rp.Contains(big.ID) {
+		t.Fatal("expected both small objects evicted for the big one")
+	}
+	if rp.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", rp.Evictions())
+	}
+}
+
+func TestRateProfileLoadCostIsSunk(t *testing.T) {
+	// After load, the in-cache RP does not subtract the fetch cost:
+	// a freshly loaded object with modest hits must not be evicted by
+	// a candidate whose LAR is below its raw rate.
+	a := testObj("a", 100)
+	b := testObj("b", 100)
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100})
+	rp.Access(1, a, 100)
+	rp.Access(2, a, 100) // load a; sumYield=100
+	rp.Access(3, a, 40)  // hit; sumYield=140
+	// b: first access LAR = (30−100)/100 < 0 → bypass regardless.
+	if d := rp.Access(4, b, 30); d != Bypass {
+		t.Fatalf("decision = %v, want bypass", d)
+	}
+	// b again: LARP = 60/(1·100) − 1 < 0 → still negative LAR.
+	if d := rp.Access(5, b, 30); d != Bypass {
+		t.Fatalf("decision = %v, want bypass", d)
+	}
+	if !rp.Contains(a.ID) {
+		t.Fatal("a should remain cached")
+	}
+}
+
+func TestRateProfileProfileCountBounded(t *testing.T) {
+	rp := NewRateProfile(RateProfileConfig{Capacity: 100, MaxProfiles: 32})
+	r := rand.New(rand.NewSource(3))
+	for i := int64(1); i <= 5000; i++ {
+		id := ObjectID(string(rune('A'+r.Intn(26))) + string(rune('A'+r.Intn(26))) + string(rune('A'+r.Intn(26))))
+		obj := Object{ID: id, Size: 1000, FetchCost: 1000}
+		rp.Access(i, obj, int64(r.Intn(1000)))
+	}
+	if rp.ProfileCount() > 32 {
+		t.Fatalf("profile count %d exceeds bound 32", rp.ProfileCount())
+	}
+}
+
+func TestRateProfileBeatsNoCacheOnSkewedWorkload(t *testing.T) {
+	// End-to-end sanity: on a workload with heavy reuse of one object,
+	// Rate-Profile must cut WAN traffic well below the sequence cost.
+	hot := testObj("hot", 1000)
+	cold1, cold2 := testObj("c1", 1000), testObj("c2", 1000)
+	r := rand.New(rand.NewSource(9))
+	var reqs []Request
+	for i := int64(1); i <= 2000; i++ {
+		var acc Access
+		switch {
+		case r.Float64() < 0.8:
+			acc = Access{hot.ID, 500 + int64(r.Intn(500))}
+		case r.Float64() < 0.5:
+			acc = Access{cold1.ID, int64(r.Intn(100))}
+		default:
+			acc = Access{cold2.ID, int64(r.Intn(100))}
+		}
+		reqs = append(reqs, Request{Seq: i, Accesses: []Access{acc}})
+	}
+	objs := objMap(hot, cold1, cold2)
+
+	run := func(p Policy) int64 {
+		sim := &Simulator{Policy: p, Objects: objs}
+		res, err := sim.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Acct.WANBytes()
+	}
+	rpCost := run(NewRateProfile(RateProfileConfig{Capacity: 1000}))
+	seqCost := run(NewNoCache())
+	if rpCost >= seqCost/5 {
+		t.Fatalf("rate-profile WAN %d not ≪ sequence cost %d", rpCost, seqCost)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkiRentalBuysAfterRentsMatchCost(t *testing.T) {
+	s := &SkiRental{BuyCost: 10}
+	// Rent 4, 4, 4: paid reaches 8 then 12? No — the rule buys when
+	// paid ≥ buy BEFORE the trip: trips pay 4, 4 (paid 8), 4 (paid
+	// 12); the next trip sees paid 12 ≥ 10 → buy.
+	for i := 0; i < 3; i++ {
+		if s.Trip(4) {
+			t.Fatalf("trip %d should rent", i)
+		}
+	}
+	if !s.Trip(4) {
+		t.Fatal("fourth trip should buy")
+	}
+	if !s.Bought() {
+		t.Fatal("Bought() should be true")
+	}
+	if got := s.Cost(); got != 22 {
+		t.Fatalf("total cost = %v, want 22 (12 rent + 10 buy)", got)
+	}
+	// All later trips are free.
+	if !s.Trip(100) {
+		t.Fatal("post-purchase trips should report bought")
+	}
+	if s.Cost() != 22 {
+		t.Fatal("post-purchase trips must be free")
+	}
+}
+
+func TestSkiRentalNeverBuysCheapSequence(t *testing.T) {
+	s := &SkiRental{BuyCost: 1000}
+	for i := 0; i < 5; i++ {
+		s.Trip(1)
+	}
+	if s.Bought() {
+		t.Fatal("should not buy for a cheap sequence")
+	}
+	if s.Cost() != 5 {
+		t.Fatalf("cost = %v, want 5", s.Cost())
+	}
+}
+
+func TestSkiRentalOPT(t *testing.T) {
+	if got := SkiRentalOPT([]float64{1, 2, 3}, 10); got != 6 {
+		t.Fatalf("OPT = %v, want 6 (renting)", got)
+	}
+	if got := SkiRentalOPT([]float64{5, 5, 5}, 10); got != 10 {
+		t.Fatalf("OPT = %v, want 10 (buying)", got)
+	}
+}
+
+func TestSkiRentalCompetitiveRatio(t *testing.T) {
+	// Property: ALG ≤ 2·OPT + maxRent on any rent sequence. (With
+	// uniform rents this is the classical 2-competitive bound; the
+	// additive term covers the last, possibly overshooting, rental.)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		buy := float64(r.Intn(100) + 1)
+		n := r.Intn(60)
+		rents := make([]float64, n)
+		maxRent := 0.0
+		for i := range rents {
+			rents[i] = float64(r.Intn(20) + 1)
+			if rents[i] > maxRent {
+				maxRent = rents[i]
+			}
+		}
+		s := &SkiRental{BuyCost: buy}
+		for _, rent := range rents {
+			s.Trip(rent)
+		}
+		opt := SkiRentalOPT(rents, buy)
+		return s.Cost() <= 2*opt+maxRent+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

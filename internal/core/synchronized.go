@@ -1,0 +1,73 @@
+package core
+
+import "sync"
+
+// Synchronized wraps a policy with a mutex so it can back a
+// concurrent server (the proxy daemon serves one connection per
+// goroutine). Policies themselves are single-threaded by contract;
+// the wrapper serializes every call, including the read-only
+// accessors, because policies like Rate-Profile mutate metadata on
+// reads of the access path.
+func Synchronized(p Policy) Policy {
+	if _, ok := p.(*synchronized); ok {
+		return p // already wrapped
+	}
+	return &synchronized{p: p}
+}
+
+type synchronized struct {
+	mu sync.Mutex
+	p  Policy
+}
+
+func (s *synchronized) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Name()
+}
+
+func (s *synchronized) Access(t int64, obj Object, yield int64) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Access(t, obj, yield)
+}
+
+func (s *synchronized) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Used()
+}
+
+func (s *synchronized) Capacity() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Capacity()
+}
+
+func (s *synchronized) Contains(id ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Contains(id)
+}
+
+func (s *synchronized) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Evictions()
+}
+
+func (s *synchronized) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.Reset()
+}
+
+// Contents implements ContentLister when the wrapped policy does.
+func (s *synchronized) Contents() []ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl, ok := s.p.(ContentLister); ok {
+		return cl.Contents()
+	}
+	return nil
+}

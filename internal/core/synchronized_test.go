@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSynchronizedConcurrentAccess(t *testing.T) {
+	// Hammer a wrapped Rate-Profile from many goroutines; run with
+	// -race this verifies the serialization.
+	p := Synchronized(NewRateProfile(RateProfileConfig{Capacity: 1000}))
+	objs := []Object{testObj("a", 300), testObj("b", 200), testObj("c", 900)}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(1); i <= 500; i++ {
+				o := objs[(int64(g)+i)%int64(len(objs))]
+				p.Access(i, o, o.Size/2)
+				p.Used()
+				p.Contains(o.ID)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Used() > p.Capacity() {
+		t.Fatalf("used %d exceeds capacity", p.Used())
+	}
+}
+
+func TestSynchronizedIdempotentWrap(t *testing.T) {
+	p := Synchronized(NewGDS(100))
+	if Synchronized(p) != p {
+		t.Fatal("double wrapping should be a no-op")
+	}
+}
+
+func TestSynchronizedDelegates(t *testing.T) {
+	inner := NewGDS(100)
+	p := Synchronized(inner)
+	if p.Name() != "gds" || p.Capacity() != 100 {
+		t.Fatal("delegation broken")
+	}
+	p.Access(1, testObj("a", 50), 10)
+	if !p.Contains("a") || p.Used() != 50 {
+		t.Fatal("state not visible through wrapper")
+	}
+	p.Reset()
+	if p.Used() != 0 {
+		t.Fatal("Reset not delegated")
+	}
+}
+
+func TestSynchronizedContents(t *testing.T) {
+	p := Synchronized(NewRateProfile(RateProfileConfig{Capacity: 1000}))
+	obj := testObj("a", 100)
+	p.Access(1, obj, 100)
+	p.Access(2, obj, 100) // load
+	cl, ok := p.(ContentLister)
+	if !ok {
+		t.Fatal("wrapper should expose ContentLister")
+	}
+	ids := cl.Contents()
+	if len(ids) != 1 || ids[0] != obj.ID {
+		t.Fatalf("contents = %v", ids)
+	}
+	// A wrapped non-lister returns nil.
+	p2 := Synchronized(NewNoCache())
+	if got := p2.(ContentLister).Contents(); got != nil {
+		t.Fatalf("contents of no-cache = %v, want nil", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Package engine implements a miniature in-memory column store over a
+// catalog schema: deterministic synthetic data generation at a
+// configurable sampling factor, execution of the sqlparse SELECT
+// subset (scans, conjunctive predicates, two-table hash joins,
+// aggregates, TOP), and a catalog-only cardinality/yield estimator.
+//
+// All result sizes are reported at LOGICAL scale: a database sampled
+// at 1/N materializes Rows/N tuples but scales row counts and byte
+// sizes back up, so cache economics computed from engine results match
+// the paper's full-scale accounting.
+package engine
+
+import (
+	"fmt"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/sqlparse"
+)
+
+// BoundCol is a column reference resolved against the schema.
+type BoundCol struct {
+	// TableIdx indexes the statement's FROM list.
+	TableIdx int
+	// Table is the resolved catalog table.
+	Table *catalog.Table
+	// Col is the resolved catalog column.
+	Col *catalog.Column
+}
+
+// BoundCond is a WHERE conjunct with both sides resolved.
+type BoundCond struct {
+	// Cond is the original condition.
+	Cond sqlparse.Condition
+	// Left is the resolved left column.
+	Left BoundCol
+	// Right is the resolved right column for column-to-column
+	// comparisons; nil for literal comparisons and BETWEEN.
+	Right *BoundCol
+}
+
+// Bound is a statement resolved against a schema: every table and
+// column reference checked and linked to catalog metadata.
+type Bound struct {
+	// Stmt is the original statement.
+	Stmt *sqlparse.SelectStmt
+	// Schema is the schema the statement was resolved against.
+	Schema *catalog.Schema
+	// Tables are the resolved FROM tables, in statement order.
+	Tables []*catalog.Table
+	// Projs are the resolved plain-column projections (empty for
+	// star; aggregates resolve their argument unless count(*)).
+	Projs []BoundCol
+	// ProjAggs mirrors Stmt.Items: the aggregate of each projection.
+	ProjAggs []sqlparse.AggFunc
+	// Star reports a select-all projection.
+	Star bool
+	// Conds are the resolved WHERE conjuncts.
+	Conds []BoundCond
+	// GroupBy is the resolved grouping column, or nil.
+	GroupBy *BoundCol
+	// OrderBy is the resolved ordering column, or nil; OrderDesc
+	// selects descending order.
+	OrderBy   *BoundCol
+	OrderDesc bool
+}
+
+// BindError reports a name-resolution failure.
+type BindError struct {
+	Ref string
+	Msg string
+}
+
+func (e *BindError) Error() string {
+	return fmt.Sprintf("engine: %s: %s", e.Msg, e.Ref)
+}
+
+// Bind resolves a statement against a schema. Every FROM table must
+// exist; every column reference must resolve to exactly one table.
+func Bind(s *catalog.Schema, stmt *sqlparse.SelectStmt) (*Bound, error) {
+	b := &Bound{Stmt: stmt, Schema: s}
+	if len(stmt.From) == 0 {
+		return nil, &BindError{Msg: "no tables", Ref: stmt.String()}
+	}
+	for _, tr := range stmt.From {
+		t := s.Table(tr.Name)
+		if t == nil {
+			return nil, &BindError{Msg: "unknown table", Ref: tr.Name}
+		}
+		b.Tables = append(b.Tables, t)
+	}
+
+	resolve := func(ref sqlparse.ColRef) (BoundCol, error) {
+		if ref.Table != "" {
+			tr := stmt.TableByQualifier(ref.Table)
+			if tr == nil {
+				return BoundCol{}, &BindError{Msg: "unknown qualifier", Ref: ref.String()}
+			}
+			for i := range stmt.From {
+				if &stmt.From[i] == tr {
+					col := b.Tables[i].Column(ref.Column)
+					if col == nil {
+						return BoundCol{}, &BindError{Msg: "unknown column", Ref: ref.String()}
+					}
+					return BoundCol{TableIdx: i, Table: b.Tables[i], Col: col}, nil
+				}
+			}
+			return BoundCol{}, &BindError{Msg: "unknown qualifier", Ref: ref.String()}
+		}
+		// Unqualified: must resolve in exactly one FROM table.
+		found := -1
+		for i, t := range b.Tables {
+			if t.Column(ref.Column) != nil {
+				if found >= 0 {
+					return BoundCol{}, &BindError{Msg: "ambiguous column", Ref: ref.String()}
+				}
+				found = i
+			}
+		}
+		if found < 0 {
+			return BoundCol{}, &BindError{Msg: "unknown column", Ref: ref.String()}
+		}
+		return BoundCol{TableIdx: found, Table: b.Tables[found], Col: b.Tables[found].Column(ref.Column)}, nil
+	}
+
+	for _, item := range stmt.Items {
+		b.ProjAggs = append(b.ProjAggs, item.Agg)
+		if item.Star {
+			if item.Agg == sqlparse.AggNone {
+				b.Star = true
+			}
+			b.Projs = append(b.Projs, BoundCol{TableIdx: -1})
+			continue
+		}
+		bc, err := resolve(item.Col)
+		if err != nil {
+			return nil, err
+		}
+		b.Projs = append(b.Projs, bc)
+	}
+
+	for _, cond := range stmt.Where {
+		left, err := resolve(cond.Left)
+		if err != nil {
+			return nil, err
+		}
+		bcond := BoundCond{Cond: cond, Left: left}
+		if cond.RightCol != nil {
+			right, err := resolve(*cond.RightCol)
+			if err != nil {
+				return nil, err
+			}
+			bcond.Right = &right
+		}
+		b.Conds = append(b.Conds, bcond)
+	}
+
+	if stmt.GroupBy != nil {
+		g, err := resolve(*stmt.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		b.GroupBy = &g
+		if b.Star {
+			return nil, &BindError{Msg: "star projection with GROUP BY", Ref: stmt.String()}
+		}
+		// Every plain projection must be the grouping column.
+		for i, p := range b.Projs {
+			if b.ProjAggs[i] != sqlparse.AggNone {
+				continue
+			}
+			if p.Col == nil || p.Col.Name != g.Col.Name || p.TableIdx != g.TableIdx {
+				return nil, &BindError{Msg: "non-aggregate projection must be the GROUP BY column", Ref: stmt.Items[i].String()}
+			}
+		}
+	}
+	if stmt.OrderBy != nil {
+		if b.GroupBy != nil {
+			return nil, &BindError{Msg: "ORDER BY with GROUP BY is not supported", Ref: stmt.String()}
+		}
+		if stmt.HasAggregate() {
+			return nil, &BindError{Msg: "ORDER BY over aggregates is not supported", Ref: stmt.String()}
+		}
+		o, err := resolve(stmt.OrderBy.Col)
+		if err != nil {
+			return nil, err
+		}
+		if !b.Star {
+			found := false
+			for i, p := range b.Projs {
+				if b.ProjAggs[i] == sqlparse.AggNone && p.Col != nil &&
+					p.Col.Name == o.Col.Name && p.TableIdx == o.TableIdx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, &BindError{Msg: "ORDER BY column must be projected", Ref: stmt.OrderBy.Col.String()}
+			}
+		}
+		b.OrderBy = &o
+		b.OrderDesc = stmt.OrderBy.Desc
+	}
+	return b, nil
+}
+
+// ProjectedWidth returns the byte width of one result row: the sum of
+// projected column widths, 8 bytes per aggregate, or the combined row
+// width of all FROM tables for star.
+func (b *Bound) ProjectedWidth() int64 {
+	if b.Star {
+		var w int64
+		for _, t := range b.Tables {
+			w += t.RowWidth()
+		}
+		return w
+	}
+	var w int64
+	for i, p := range b.Projs {
+		if b.ProjAggs[i] != sqlparse.AggNone {
+			w += 8
+			continue
+		}
+		if p.Col != nil {
+			w += p.Col.Width()
+		}
+	}
+	return w
+}
+
+// ReferencedColumns returns every distinct (table, column) pair the
+// statement touches — projections, predicates, and join keys. Star
+// projections expand to all columns of all FROM tables. The federation
+// layer uses this set for yield decomposition at column granularity.
+func (b *Bound) ReferencedColumns() []BoundCol {
+	seen := make(map[string]bool)
+	var out []BoundCol
+	add := func(bc BoundCol) {
+		if bc.Col == nil {
+			return
+		}
+		k := bc.Table.Name + "." + bc.Col.Name
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, bc)
+		}
+	}
+	if b.Star {
+		for i, t := range b.Tables {
+			for j := range t.Columns {
+				add(BoundCol{TableIdx: i, Table: t, Col: &t.Columns[j]})
+			}
+		}
+	}
+	for _, p := range b.Projs {
+		add(p)
+	}
+	for _, c := range b.Conds {
+		add(c.Left)
+		if c.Right != nil {
+			add(*c.Right)
+		}
+	}
+	if b.GroupBy != nil {
+		add(*b.GroupBy)
+	}
+	if b.OrderBy != nil {
+		add(*b.OrderBy)
+	}
+	return out
+}

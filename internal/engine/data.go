@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"bypassyield/internal/catalog"
+)
+
+// Config parameterizes a database instance.
+type Config struct {
+	// SampleEvery materializes one of every N logical rows; 1 (or 0,
+	// the default) materializes everything. Result cardinalities and
+	// yields are always scaled back to logical size.
+	SampleEvery int64
+	// Seed drives deterministic data synthesis; the same (schema,
+	// SampleEvery, Seed) triple always produces identical data.
+	Seed int64
+	// MaxResultRows bounds the number of materialized tuples carried
+	// in a Result (the logical cardinality is unaffected). Zero means
+	// the default of 64.
+	MaxResultRows int
+}
+
+func (c *Config) fill() {
+	if c.SampleEvery < 1 {
+		c.SampleEvery = 1
+	}
+	if c.MaxResultRows <= 0 {
+		c.MaxResultRows = 64
+	}
+}
+
+// DB is an in-memory column store holding synthesized data for a
+// schema (or a per-site subset of one).
+type DB struct {
+	schema *catalog.Schema
+	cfg    Config
+	tables map[string]*tableData
+}
+
+// tableData is the columnar storage of one table's sample.
+type tableData struct {
+	meta *catalog.Table
+	n    int
+	cols [][]float64 // parallel to meta.Columns
+}
+
+// Open synthesizes a database for the schema. Generation is
+// column-parallel-free and deterministic: each column's stream is
+// seeded by the config seed and the qualified column name.
+func Open(s *catalog.Schema, cfg Config) (*DB, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	db := &DB{schema: s, cfg: cfg, tables: make(map[string]*tableData, len(s.Tables))}
+	for i := range s.Tables {
+		t := &s.Tables[i]
+		n := int(t.Rows / cfg.SampleEvery)
+		if n < 1 {
+			n = 1
+		}
+		td := &tableData{meta: t, n: n, cols: make([][]float64, len(t.Columns))}
+		for j := range t.Columns {
+			td.cols[j] = synthesize(&t.Columns[j], t.Name, n, cfg)
+		}
+		db.tables[t.Name] = td
+	}
+	return db, nil
+}
+
+// synthesize generates one column's sample values.
+//
+// Key columns hold the logical identifiers of the sampled rows:
+// i·SampleEvery. Integer columns whose name ends in "id" are snapped
+// to the same sampling grid, so foreign keys always reference rows
+// that exist in the referenced table's sample — joins behave at
+// sample scale exactly as they would at full scale. Other integers
+// are uniform over [Min, Max]; floats are uniform over [Min, Max).
+func synthesize(col *catalog.Column, table string, n int, cfg Config) []float64 {
+	vals := make([]float64, n)
+	if col.Key {
+		for i := range vals {
+			vals[i] = float64(int64(i) * cfg.SampleEvery)
+		}
+		return vals
+	}
+	r := rand.New(rand.NewSource(colSeed(cfg.Seed, table, col.Name)))
+	isInt := col.Type == catalog.Int64 || col.Type == catalog.Int32 || col.Type == catalog.Int16
+	gridID := isInt && strings.HasSuffix(col.Name, "id") && col.Max >= 1000
+	span := col.Max - col.Min
+	for i := range vals {
+		switch {
+		case gridID:
+			slots := int64(col.Max-col.Min) / cfg.SampleEvery
+			if slots < 1 {
+				slots = 1
+			}
+			vals[i] = col.Min + float64(r.Int63n(slots)*cfg.SampleEvery)
+		case isInt:
+			vals[i] = math.Floor(col.Min + r.Float64()*(span+1))
+			if vals[i] > col.Max {
+				vals[i] = col.Max
+			}
+		default:
+			vals[i] = col.Min + r.Float64()*span
+		}
+	}
+	return vals
+}
+
+// colSeed derives a deterministic per-column seed.
+func colSeed(seed int64, table, col string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s.%s", table, col)
+	return seed ^ int64(h.Sum64())
+}
+
+// Schema returns the schema the database was opened with.
+func (db *DB) Schema() *catalog.Schema { return db.schema }
+
+// SampleEvery returns the sampling factor.
+func (db *DB) SampleEvery() int64 { return db.cfg.SampleEvery }
+
+// SampleRows returns the number of materialized rows of a table, or 0
+// if the table is unknown.
+func (db *DB) SampleRows(table string) int {
+	td := db.tables[strings.ToLower(table)]
+	if td == nil {
+		return 0
+	}
+	return td.n
+}
+
+// columnValues returns the sample values of a column (shared slice;
+// callers must not mutate). It returns nil for unknown names.
+func (db *DB) columnValues(table, col string) []float64 {
+	td := db.tables[strings.ToLower(table)]
+	if td == nil {
+		return nil
+	}
+	for j := range td.meta.Columns {
+		if td.meta.Columns[j].Name == strings.ToLower(col) {
+			return td.cols[j]
+		}
+	}
+	return nil
+}

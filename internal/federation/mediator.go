@@ -1,0 +1,182 @@
+package federation
+
+import (
+	"fmt"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/netcost"
+	"bypassyield/internal/sqlparse"
+)
+
+// Config assembles a mediator.
+type Config struct {
+	// Schema is the federated release.
+	Schema *catalog.Schema
+	// Engine executes queries (a full copy of the release, possibly
+	// sampled; yields are logical either way).
+	Engine *engine.DB
+	// Policy is the bypass-yield cache algorithm. Nil means no
+	// caching (every access bypasses).
+	Policy core.Policy
+	// Granularity selects table or column objects.
+	Granularity Granularity
+	// Net is the WAN cost model; nil means uniform.
+	Net *netcost.Model
+}
+
+// Mediator is the federation entry point the paper collocates with
+// the proxy cache: it receives SQL, resolves it against the release,
+// executes it, decomposes the yield across referenced objects, and
+// drives the cache policy with full flow accounting.
+type Mediator struct {
+	cfg     Config
+	objects map[core.ObjectID]core.Object
+	acct    core.Accounting
+	t       int64
+}
+
+// AccessDecision records the cache's handling of one object access
+// within a query.
+type AccessDecision struct {
+	// Object is the referenced object.
+	Object core.ObjectID
+	// Site is the owning federation site.
+	Site string
+	// Yield is the access's share of the query yield.
+	Yield int64
+	// Decision is the cache's choice.
+	Decision core.Decision
+}
+
+// QueryReport is the outcome of one mediated query.
+type QueryReport struct {
+	// SQL is the original statement.
+	SQL string
+	// Seq is the query's position in the mediator's stream.
+	Seq int64
+	// Result is the execution result (logical cardinality and yield).
+	Result *engine.Result
+	// Decisions lists per-object cache decisions.
+	Decisions []AccessDecision
+}
+
+// New builds a mediator. The engine must serve the same schema.
+func New(cfg Config) (*Mediator, error) {
+	if cfg.Schema == nil || cfg.Engine == nil {
+		return nil, fmt.Errorf("federation: schema and engine are required")
+	}
+	if cfg.Engine.Schema() != cfg.Schema {
+		return nil, fmt.Errorf("federation: engine serves schema %q, mediator configured for %q",
+			cfg.Engine.Schema().Name, cfg.Schema.Name)
+	}
+	if cfg.Net == nil {
+		cfg.Net = netcost.Uniform()
+	}
+	return &Mediator{
+		cfg:     cfg,
+		objects: Objects(cfg.Schema, cfg.Granularity, cfg.Net),
+	}, nil
+}
+
+// Objects returns the cacheable-object universe.
+func (m *Mediator) Objects() map[core.ObjectID]core.Object { return m.objects }
+
+// Schema returns the federated release schema.
+func (m *Mediator) Schema() *catalog.Schema { return m.cfg.Schema }
+
+// Granularity returns the configured object granularity.
+func (m *Mediator) Granularity() Granularity { return m.cfg.Granularity }
+
+// Policy returns the configured cache policy (nil when caching is
+// disabled).
+func (m *Mediator) Policy() core.Policy { return m.cfg.Policy }
+
+// Accounting returns the accumulated flow accounting.
+func (m *Mediator) Accounting() core.Accounting { return m.acct }
+
+// Clock returns the number of queries mediated so far.
+func (m *Mediator) Clock() int64 { return m.t }
+
+// Query parses, executes, and accounts one statement.
+func (m *Mediator) Query(sql string) (*QueryReport, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return m.QueryStmt(sql, stmt)
+}
+
+// QueryStmt is Query over a pre-parsed statement.
+func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryReport, error) {
+	b, err := engine.Bind(m.cfg.Schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.cfg.Engine.Execute(stmt)
+	if err != nil {
+		return nil, err
+	}
+	m.t++
+	m.acct.Queries++
+	rep := &QueryReport{SQL: sql, Seq: m.t, Result: res}
+	for _, acc := range Decompose(b, m.cfg.Schema.Name, res.Bytes, m.cfg.Granularity) {
+		obj, ok := m.objects[acc.Object]
+		if !ok {
+			return nil, fmt.Errorf("federation: decomposition produced unknown object %s", acc.Object)
+		}
+		d := core.Bypass
+		if m.cfg.Policy != nil {
+			d = m.cfg.Policy.Access(m.t, obj, acc.Yield)
+		}
+		if err := core.Account(&m.acct, obj, acc.Yield, d); err != nil {
+			return nil, err
+		}
+		rep.Decisions = append(rep.Decisions, AccessDecision{
+			Object:   acc.Object,
+			Site:     obj.Site,
+			Yield:    acc.Yield,
+			Decision: d,
+		})
+	}
+	return rep, nil
+}
+
+// Subqueries splits a bound multi-table statement into one
+// single-table statement per FROM table, as the paper's mediator ships
+// sub-queries to each member database: each subquery projects the
+// columns the mediator needs from that table (its referenced columns,
+// including join keys) and applies the table's local literal
+// predicates. Cross-table conditions are evaluated at the mediator
+// after the per-site results return.
+func Subqueries(b *engine.Bound) []*sqlparse.SelectStmt {
+	out := make([]*sqlparse.SelectStmt, len(b.Tables))
+	refs := b.ReferencedColumns()
+	for i, t := range b.Tables {
+		sub := &sqlparse.SelectStmt{
+			From: []sqlparse.TableRef{{Name: t.Name}},
+		}
+		for _, r := range refs {
+			if r.TableIdx != i {
+				continue
+			}
+			sub.Items = append(sub.Items, sqlparse.SelectItem{
+				Col: sqlparse.ColRef{Column: r.Col.Name},
+			})
+		}
+		if len(sub.Items) == 0 {
+			sub.Items = []sqlparse.SelectItem{{Star: true}}
+		}
+		for _, c := range b.Conds {
+			if c.Right != nil || c.Left.TableIdx != i {
+				continue
+			}
+			cond := c.Cond
+			cond.Left = sqlparse.ColRef{Column: c.Left.Col.Name}
+			sub.Where = append(sub.Where, cond)
+		}
+		out[i] = sub
+	}
+	return out
+}

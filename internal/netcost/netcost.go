@@ -1,0 +1,44 @@
+// Package netcost models wide-area transfer costs between federation
+// sites and the proxy cache. The paper's metrics (BYHR) allow each
+// object a fetch cost f_i distinct from its size s_i; on uniform
+// networks f_i = s_i (the common case, and the paper's experimental
+// setting), while non-uniform models scale per-byte cost by site.
+package netcost
+
+// Model assigns a per-byte WAN cost multiplier to each site.
+type Model struct {
+	// PerSite maps site names to cost multipliers; sites absent from
+	// the map use Default.
+	PerSite map[string]float64
+	// Default is the multiplier for unlisted sites; zero means 1.
+	Default float64
+}
+
+// Uniform returns the uniform network model (every byte costs 1),
+// under which BYHR reduces to BYU.
+func Uniform() *Model { return &Model{} }
+
+// Factor returns the per-byte cost multiplier for a site.
+func (m *Model) Factor(site string) float64 {
+	if m == nil {
+		return 1
+	}
+	if f, ok := m.PerSite[site]; ok && f > 0 {
+		return f
+	}
+	if m.Default > 0 {
+		return m.Default
+	}
+	return 1
+}
+
+// FetchCost returns the WAN cost of moving size bytes from the site
+// to the cache. The result is at least 1 for positive sizes so that
+// every object has a positive fetch cost.
+func (m *Model) FetchCost(size int64, site string) int64 {
+	c := int64(float64(size) * m.Factor(site))
+	if c < 1 && size > 0 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,50 @@
+package netcost
+
+import "testing"
+
+func TestUniformModel(t *testing.T) {
+	m := Uniform()
+	if m.Factor("anything") != 1 {
+		t.Fatal("uniform factor should be 1")
+	}
+	if m.FetchCost(1000, "x") != 1000 {
+		t.Fatal("uniform fetch cost should equal size")
+	}
+}
+
+func TestNilModel(t *testing.T) {
+	var m *Model
+	if m.Factor("x") != 1 {
+		t.Fatal("nil model should behave uniformly")
+	}
+}
+
+func TestPerSiteFactors(t *testing.T) {
+	m := &Model{PerSite: map[string]float64{"far": 2.5}, Default: 1.5}
+	if m.Factor("far") != 2.5 {
+		t.Fatalf("Factor(far) = %v", m.Factor("far"))
+	}
+	if m.Factor("other") != 1.5 {
+		t.Fatalf("Factor(other) = %v, want default 1.5", m.Factor("other"))
+	}
+	if got := m.FetchCost(100, "far"); got != 250 {
+		t.Fatalf("FetchCost = %d, want 250", got)
+	}
+}
+
+func TestZeroAndNegativeFactorsIgnored(t *testing.T) {
+	m := &Model{PerSite: map[string]float64{"bad": 0}}
+	if m.Factor("bad") != 1 {
+		t.Fatal("non-positive per-site factor should fall back to 1")
+	}
+}
+
+func TestFetchCostFloor(t *testing.T) {
+	m := &Model{PerSite: map[string]float64{"near": 0.0001}}
+	if got := m.FetchCost(100, "near"); got != 1 {
+		t.Fatalf("FetchCost = %d, want floor of 1", got)
+	}
+	if got := m.FetchCost(0, "near"); got != 0 {
+		t.Fatalf("FetchCost(0) = %d, want 0", got)
+	}
+}

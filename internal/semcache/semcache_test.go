@@ -1,0 +1,157 @@
+package semcache
+
+import (
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/sqlparse"
+)
+
+func testCache(t *testing.T, capacity int64) *Cache {
+	t.Helper()
+	return New(catalog.EDR(), capacity)
+}
+
+func q(t *testing.T, c *Cache, clock int64, sql string, bytes int64) core.Decision {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return c.Query(clock, stmt, bytes)
+}
+
+func TestExactReuse(t *testing.T) {
+	c := testCache(t, 1<<20)
+	sql := "select ra, dec from photoobj where ra between 10 and 20"
+	if d := q(t, c, 1, sql, 1000); d != core.Bypass {
+		t.Fatalf("first = %v, want bypass", d)
+	}
+	if d := q(t, c, 2, sql, 1000); d != core.Hit {
+		t.Fatalf("repeat = %v, want hit", d)
+	}
+	hits, misses, _, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestContainmentHit(t *testing.T) {
+	c := testCache(t, 1<<20)
+	q(t, c, 1, "select ra, dec from photoobj where ra between 10 and 50", 5000)
+	// Narrower range, subset of columns → answerable by filtering the
+	// cached result.
+	if d := q(t, c, 2, "select ra from photoobj where ra between 20 and 30", 800); d != core.Hit {
+		t.Fatalf("contained query = %v, want hit", d)
+	}
+	// A range extending beyond the cached one misses.
+	if d := q(t, c, 3, "select ra from photoobj where ra between 40 and 60", 800); d != core.Bypass {
+		t.Fatalf("overlapping-but-escaping query = %v, want bypass", d)
+	}
+}
+
+func TestContainmentNeedsFilterColumns(t *testing.T) {
+	c := testCache(t, 1<<20)
+	// The cached result carries ra (filter) and dec (projection).
+	q(t, c, 1, "select dec from photoobj where ra between 10 and 50", 5000)
+	// Re-filtering on ra works because ra was materialized with the
+	// result.
+	if d := q(t, c, 2, "select dec from photoobj where ra between 20 and 30", 400); d != core.Hit {
+		t.Fatalf("filterable query = %v, want hit", d)
+	}
+	// A query needing a column the entry never materialized misses.
+	if d := q(t, c, 3, "select type from photoobj where ra between 20 and 30", 400); d != core.Bypass {
+		t.Fatalf("missing-column query = %v, want bypass", d)
+	}
+}
+
+func TestUnconstrainedQueryNotAnsweredByFiltered(t *testing.T) {
+	c := testCache(t, 1<<20)
+	q(t, c, 1, "select ra from photoobj where ra between 10 and 50", 5000)
+	// The new query wants ALL rows; the cached entry only has some.
+	if d := q(t, c, 2, "select ra from photoobj", 90000); d != core.Bypass {
+		t.Fatalf("wider query = %v, want bypass", d)
+	}
+}
+
+func TestUnconstrainedEntryAnswersAnything(t *testing.T) {
+	c := testCache(t, 1<<30)
+	q(t, c, 1, "select ra, dec from photoobj", 90000)
+	if d := q(t, c, 2, "select ra from photoobj where ra < 100 and dec > 0", 800); d != core.Hit {
+		t.Fatalf("restricted query over full cached scan = %v, want hit", d)
+	}
+}
+
+func TestEqualityAndOperatorIntervals(t *testing.T) {
+	c := testCache(t, 1<<20)
+	q(t, c, 1, "select ra, objid from photoobj where ra < 100", 5000)
+	if d := q(t, c, 2, "select objid from photoobj where ra = 50", 100); d != core.Hit {
+		t.Fatalf("point query inside cached range = %v, want hit", d)
+	}
+	if d := q(t, c, 3, "select objid from photoobj where ra = 150", 100); d != core.Bypass {
+		t.Fatalf("point query outside cached range = %v, want bypass", d)
+	}
+}
+
+func TestUncacheableQueries(t *testing.T) {
+	c := testCache(t, 1<<20)
+	for _, sql := range []string{
+		"select count(*) from photoobj where ra < 10",
+		"select top 5 ra from photoobj",
+		"select p.ra, s.z from photoobj p, specobj s where p.objid = s.objid",
+	} {
+		if d := q(t, c, 1, sql, 1000); d != core.Bypass {
+			t.Fatalf("%q = %v, want bypass (uncacheable)", sql, d)
+		}
+	}
+	_, _, rejected, _ := c.Stats()
+	if rejected != 3 {
+		t.Fatalf("rejected = %d, want 3", rejected)
+	}
+	if c.Len() != 0 {
+		t.Fatal("uncacheable queries must not be admitted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := testCache(t, 1000)
+	q(t, c, 1, "select ra from photoobj where ra between 0 and 1", 600)
+	q(t, c, 2, "select ra from photoobj where ra between 2 and 3", 600) // evicts first
+	if _, _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if d := q(t, c, 3, "select ra from photoobj where ra between 0 and 1", 600); d != core.Bypass {
+		t.Fatalf("evicted entry = %v, want bypass", d)
+	}
+	if d := q(t, c, 4, "select ra from photoobj where ra between 2 and 3", 600); d != core.Bypass {
+		// Entry for 2..3 was evicted at t=3's admit.
+		t.Fatalf("after churn = %v, want bypass", d)
+	}
+}
+
+func TestOversizedResultNotAdmitted(t *testing.T) {
+	c := testCache(t, 1000)
+	q(t, c, 1, "select ra from photoobj where ra < 300", 5000)
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatal("oversized result should not be admitted")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := testCache(t, 2000)
+	for i := int64(1); i <= 50; i++ {
+		lo := float64(i)
+		stmt := &sqlparse.SelectStmt{
+			Items: []sqlparse.SelectItem{{Col: sqlparse.ColRef{Column: "ra"}}},
+			From:  []sqlparse.TableRef{{Name: "photoobj"}},
+			Where: []sqlparse.Condition{{
+				Left: sqlparse.ColRef{Column: "ra"}, Between: true, Lo: lo, Hi: lo + 0.5,
+			}},
+		}
+		c.Query(i, stmt, 300+i*10)
+		if c.Used() > 2000 {
+			t.Fatalf("used %d exceeds capacity", c.Used())
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package sqlparse implements a lexer and recursive-descent parser for
+// the SQL subset appearing in the paper's SDSS traces: single- and
+// multi-table SELECT statements with projections, aggregates, TOP,
+// aliases, and conjunctive WHERE clauses of comparisons, BETWEEN
+// ranges, and equi-join conditions. Values are numeric — the SDSS
+// queries the paper shows filter on identifiers, magnitudes, redshifts
+// and classes, all numeric.
+//
+// The AST round-trips: String() renders a statement that re-parses to
+// an equal AST, which the trace format relies on.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AggFunc names an aggregate function, or is empty for a plain column
+// projection.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggNone  AggFunc = ""
+	AggCount AggFunc = "count"
+	AggSum   AggFunc = "sum"
+	AggAvg   AggFunc = "avg"
+	AggMin   AggFunc = "min"
+	AggMax   AggFunc = "max"
+)
+
+// ColRef references a column, optionally qualified by a table name or
+// alias.
+type ColRef struct {
+	// Table is the qualifier (alias or table name); empty when
+	// unqualified.
+	Table string
+	// Column is the column name.
+	Column string
+}
+
+// String renders the reference in SQL syntax.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// SelectItem is one projection: a column, a star, or an aggregate.
+type SelectItem struct {
+	// Agg is the aggregate function, or AggNone.
+	Agg AggFunc
+	// Star marks `*` (select-all) or `count(*)` when Agg is set.
+	Star bool
+	// Col is the projected column (unused when Star).
+	Col ColRef
+	// Alias is the output name from AS, or empty.
+	Alias string
+}
+
+// String renders the item in SQL syntax.
+func (s SelectItem) String() string {
+	var b strings.Builder
+	switch {
+	case s.Agg != AggNone && s.Star:
+		fmt.Fprintf(&b, "%s(*)", s.Agg)
+	case s.Agg != AggNone:
+		fmt.Fprintf(&b, "%s(%s)", s.Agg, s.Col)
+	case s.Star:
+		b.WriteString("*")
+	default:
+		b.WriteString(s.Col.String())
+	}
+	if s.Alias != "" {
+		b.WriteString(" as ")
+		b.WriteString(s.Alias)
+	}
+	return b.String()
+}
+
+// TableRef names a table in the FROM clause with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// String renders the reference in SQL syntax.
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Name
+	}
+	return t.Name + " " + t.Alias
+}
+
+// CompareOp is a comparison operator.
+type CompareOp string
+
+// Supported comparison operators. NotEq renders as <>.
+const (
+	OpEq    CompareOp = "="
+	OpLt    CompareOp = "<"
+	OpGt    CompareOp = ">"
+	OpLe    CompareOp = "<="
+	OpGe    CompareOp = ">="
+	OpNotEq CompareOp = "<>"
+)
+
+// Condition is one conjunct of the WHERE clause: a comparison against
+// a literal, an equi-join comparison against another column, or a
+// BETWEEN range.
+type Condition struct {
+	// Left is the left-hand column.
+	Left ColRef
+	// Op is the comparison operator (ignored for BETWEEN).
+	Op CompareOp
+	// RightCol, when non-nil, makes this a column-to-column
+	// comparison (a join condition when the columns belong to
+	// different tables).
+	RightCol *ColRef
+	// Value is the literal right-hand side when RightCol is nil and
+	// Between is false.
+	Value float64
+	// Between marks `left BETWEEN Lo AND Hi`.
+	Between bool
+	// Lo and Hi bound the BETWEEN range.
+	Lo, Hi float64
+}
+
+// IsJoin reports whether the condition compares two columns of
+// different qualifiers with equality.
+func (c Condition) IsJoin() bool {
+	return c.RightCol != nil && c.Op == OpEq && c.Left.Table != c.RightCol.Table
+}
+
+// String renders the condition in SQL syntax.
+func (c Condition) String() string {
+	if c.Between {
+		return fmt.Sprintf("%s between %s and %s", c.Left, fnum(c.Lo), fnum(c.Hi))
+	}
+	if c.RightCol != nil {
+		return fmt.Sprintf("%s %s %s", c.Left, c.Op, *c.RightCol)
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, fnum(c.Value))
+}
+
+// OrderSpec is an ORDER BY clause: a column and direction.
+type OrderSpec struct {
+	// Col is the ordering column.
+	Col ColRef
+	// Desc selects descending order.
+	Desc bool
+}
+
+// String renders the clause body in SQL syntax.
+func (o OrderSpec) String() string {
+	if o.Desc {
+		return o.Col.String() + " desc"
+	}
+	return o.Col.String()
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	// Top limits the result to the first N rows; 0 means no limit.
+	Top int64
+	// Items lists the projections.
+	Items []SelectItem
+	// From lists the tables.
+	From []TableRef
+	// Where lists the conjunctive conditions; empty means no filter.
+	Where []Condition
+	// GroupBy is the grouping column; nil means no grouping.
+	GroupBy *ColRef
+	// OrderBy is the ordering spec; nil means unordered.
+	OrderBy *OrderSpec
+}
+
+// String renders the statement in SQL syntax; the output re-parses to
+// an equal AST.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if s.Top > 0 {
+		fmt.Fprintf(&b, "top %d ", s.Top)
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" from ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" where ")
+		for i, c := range s.Where {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if s.GroupBy != nil {
+		b.WriteString(" group by ")
+		b.WriteString(s.GroupBy.String())
+	}
+	if s.OrderBy != nil {
+		b.WriteString(" order by ")
+		b.WriteString(s.OrderBy.String())
+	}
+	return b.String()
+}
+
+// HasAggregate reports whether any projection is an aggregate.
+func (s *SelectStmt) HasAggregate() bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// TableByQualifier resolves a qualifier (alias or table name) to its
+// TableRef; unqualified references resolve only in single-table
+// statements. It returns nil when the qualifier is unknown.
+func (s *SelectStmt) TableByQualifier(q string) *TableRef {
+	if q == "" {
+		if len(s.From) == 1 {
+			return &s.From[0]
+		}
+		return nil
+	}
+	for i := range s.From {
+		if s.From[i].Alias == q || s.From[i].Name == q {
+			return &s.From[i]
+		}
+	}
+	return nil
+}
+
+// fnum formats a float the way the lexer accepts, without exponent
+// notation for typical magnitudes.
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,68 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseGroupBy(t *testing.T) {
+	stmt, err := Parse("select type, count(*) from photoobj where ra < 100 group by type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.GroupBy == nil || stmt.GroupBy.Column != "type" {
+		t.Fatalf("group by = %+v", stmt.GroupBy)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	stmt, err := Parse("select ra, modelmag_r from photoobj order by modelmag_r desc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.OrderBy == nil || stmt.OrderBy.Col.Column != "modelmag_r" || !stmt.OrderBy.Desc {
+		t.Fatalf("order by = %+v", stmt.OrderBy)
+	}
+	stmt, err = Parse("select ra from photoobj order by ra asc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.OrderBy.Desc {
+		t.Fatal("asc parsed as desc")
+	}
+}
+
+func TestParseGroupAndOrderRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"select type, count(*) from photoobj group by type",
+		"select s.specclass, avg(s.z) from specobj s where s.zconf > 0.9 group by s.specclass",
+		"select top 10 objid, modelmag_r from photoobj where type = 3 order by modelmag_r",
+		"select ra from photoobj order by ra desc",
+	} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		again, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", stmt.String(), err)
+		}
+		if !reflect.DeepEqual(stmt, again) {
+			t.Fatalf("round trip mismatch for %q", sql)
+		}
+	}
+}
+
+func TestParseGroupOrderErrors(t *testing.T) {
+	for _, sql := range []string{
+		"select a from t group",
+		"select a from t group by",
+		"select a from t order by",
+		"select a from t order a",
+		"select a from t group by 5",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("Parse(%q) should fail", sql)
+		}
+	}
+}

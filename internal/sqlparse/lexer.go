@@ -1,0 +1,160 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = < > <= >= <> !=
+)
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// SyntaxError reports a lexing or parsing failure with its byte
+// offset into the statement.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sqlparse: %s at offset %d", e.Msg, e.Pos)
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.src[l.pos]
+	switch {
+	case ch == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case ch == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case ch == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ch == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case ch == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case ch == '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case ch == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			return token{tokOp, l.src[start:l.pos], start}, nil
+		}
+		return token{tokOp, "<", start}, nil
+	case ch == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, ">=", start}, nil
+		}
+		return token{tokOp, ">", start}, nil
+	case ch == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "<>", start}, nil // normalize != to <>
+		}
+		return token{}, l.errorf(start, "unexpected character %q", ch)
+	case ch == '-' || ch == '+' || isDigit(ch):
+		return l.lexNumber()
+	case isIdentStart(ch):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, strings.ToLower(l.src[start:l.pos]), start}, nil
+	default:
+		return token{}, l.errorf(start, "unexpected character %q", ch)
+	}
+}
+
+// lexNumber scans an optionally signed decimal with optional fraction
+// and exponent.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+		digits++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+			digits++
+		}
+	}
+	if digits == 0 {
+		return token{}, l.errorf(start, "malformed number")
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+			l.pos++
+		}
+		expDigits := 0
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+			expDigits++
+		}
+		if expDigits == 0 {
+			l.pos = save // "e" belonged to something else; unlikely in this grammar
+		}
+	}
+	return token{tokNumber, l.src[start:l.pos], start}, nil
+}
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+}
+
+func isIdentPart(ch byte) bool { return isIdentStart(ch) || isDigit(ch) }

@@ -1,0 +1,320 @@
+package sqlparse
+
+import "strconv"
+
+// parser is a recursive-descent parser over the lexer's token stream
+// with one token of lookahead.
+type parser struct {
+	lex *lexer
+	tok token
+	err error
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*SelectStmt, error) {
+	p := &parser{lex: &lexer{src: sql}}
+	p.advance()
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.tok.text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.next()
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.lex.errorf(p.tok.pos, format, args...)
+}
+
+// expectKeyword consumes the given keyword identifier.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errorf("expected %q, got %q", kw, p.tok.text)
+	}
+	p.advance()
+	return p.err
+}
+
+// isKeyword reports whether the current token is the given keyword.
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+// reserved words that terminate identifier positions.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"between": true, "as": true, "top": true,
+	"group": true, "order": true, "by": true, "asc": true, "desc": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.isKeyword("top") {
+		p.advance()
+		if p.tok.kind != tokNumber {
+			return nil, p.errorf("expected number after TOP, got %q", p.tok.text)
+		}
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("invalid TOP count %q", p.tok.text)
+		}
+		stmt.Top = n
+		p.advance()
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.tok.kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if p.tok.kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.isKeyword("where") {
+		p.advance()
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if !p.isKeyword("and") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.GroupBy = &col
+	}
+	if p.isKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		spec := &OrderSpec{Col: col}
+		if p.isKeyword("desc") {
+			spec.Desc = true
+			p.advance()
+		} else if p.isKeyword("asc") {
+			p.advance()
+		}
+		stmt.OrderBy = spec
+	}
+	return stmt, p.err
+}
+
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	if p.tok.kind == tokStar {
+		p.advance()
+		item.Star = true
+		return item, p.err
+	}
+	if p.tok.kind != tokIdent {
+		return item, p.errorf("expected projection, got %q", p.tok.text)
+	}
+	if agg, ok := aggFuncs[p.tok.text]; ok {
+		// Lookahead: aggregate call only if followed by '('.
+		save := *p.lex
+		saveTok := p.tok
+		p.advance()
+		if p.tok.kind == tokLParen {
+			p.advance()
+			item.Agg = agg
+			if p.tok.kind == tokStar {
+				item.Star = true
+				p.advance()
+			} else {
+				col, err := p.parseColRef()
+				if err != nil {
+					return item, err
+				}
+				item.Col = col
+			}
+			if p.tok.kind != tokRParen {
+				return item, p.errorf("expected ')', got %q", p.tok.text)
+			}
+			p.advance()
+			return p.parseAlias(item)
+		}
+		// Not a call: restore and treat as a column name.
+		*p.lex = save
+		p.tok = saveTok
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return item, err
+	}
+	item.Col = col
+	return p.parseAlias(item)
+}
+
+// parseAlias consumes an optional [AS] alias after a projection.
+func (p *parser) parseAlias(item SelectItem) (SelectItem, error) {
+	if p.isKeyword("as") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return item, p.errorf("expected alias after AS, got %q", p.tok.text)
+		}
+		item.Alias = p.tok.text
+		p.advance()
+		return item, p.err
+	}
+	if p.tok.kind == tokIdent && !reserved[p.tok.text] {
+		item.Alias = p.tok.text
+		p.advance()
+	}
+	return item, p.err
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	var c ColRef
+	if p.tok.kind != tokIdent || reserved[p.tok.text] {
+		return c, p.errorf("expected column reference, got %q", p.tok.text)
+	}
+	first := p.tok.text
+	p.advance()
+	if p.tok.kind == tokDot {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return c, p.errorf("expected column after '.', got %q", p.tok.text)
+		}
+		c.Table = first
+		c.Column = p.tok.text
+		p.advance()
+		return c, p.err
+	}
+	c.Column = first
+	return c, p.err
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var tr TableRef
+	if p.tok.kind != tokIdent || reserved[p.tok.text] {
+		return tr, p.errorf("expected table name, got %q", p.tok.text)
+	}
+	tr.Name = p.tok.text
+	p.advance()
+	if p.isKeyword("as") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return tr, p.errorf("expected alias after AS, got %q", p.tok.text)
+		}
+		tr.Alias = p.tok.text
+		p.advance()
+		return tr, p.err
+	}
+	if p.tok.kind == tokIdent && !reserved[p.tok.text] {
+		tr.Alias = p.tok.text
+		p.advance()
+	}
+	return tr, p.err
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	var c Condition
+	left, err := p.parseColRef()
+	if err != nil {
+		return c, err
+	}
+	c.Left = left
+	if p.isKeyword("between") {
+		p.advance()
+		c.Between = true
+		lo, err := p.parseNumber()
+		if err != nil {
+			return c, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return c, err
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return c, err
+		}
+		c.Lo, c.Hi = lo, hi
+		return c, p.err
+	}
+	if p.tok.kind != tokOp {
+		return c, p.errorf("expected comparison operator, got %q", p.tok.text)
+	}
+	c.Op = CompareOp(p.tok.text)
+	p.advance()
+	switch p.tok.kind {
+	case tokNumber:
+		v, err := p.parseNumber()
+		if err != nil {
+			return c, err
+		}
+		c.Value = v
+	case tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return c, err
+		}
+		c.RightCol = &right
+	default:
+		return c, p.errorf("expected value or column, got %q", p.tok.text)
+	}
+	return c, p.err
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	if p.tok.kind != tokNumber {
+		return 0, p.errorf("expected number, got %q", p.tok.text)
+	}
+	v, err := strconv.ParseFloat(p.tok.text, 64)
+	if err != nil {
+		return 0, p.errorf("invalid number %q", p.tok.text)
+	}
+	p.advance()
+	return v, p.err
+}

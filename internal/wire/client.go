@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+)
+
+// Client is a synchronous connection to a proxy (or directly to a
+// database node for diagnostics).
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a proxy at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query sends SQL and returns the result.
+func (c *Client) Query(sql string) (*ResultMsg, error) {
+	if _, err := WriteFrame(c.conn, MsgQuery, QueryMsg{SQL: sql}); err != nil {
+		return nil, err
+	}
+	t, body, _, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case MsgResult:
+		var res ResultMsg
+		if err := Decode(body, &res); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	case MsgError:
+		var e ErrorMsg
+		if err := Decode(body, &e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: server: %s", e.Message)
+	default:
+		return nil, fmt.Errorf("wire: unexpected response type %d", t)
+	}
+}
+
+// Stats fetches the proxy's accounting snapshot.
+func (c *Client) Stats() (*StatsResultMsg, error) {
+	if _, err := WriteFrame(c.conn, MsgStats, StatsMsg{}); err != nil {
+		return nil, err
+	}
+	t, body, _, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case MsgStatsResult:
+		var res StatsResultMsg
+		if err := Decode(body, &res); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	case MsgError:
+		var e ErrorMsg
+		if err := Decode(body, &e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: server: %s", e.Message)
+	default:
+		return nil, fmt.Errorf("wire: unexpected response type %d", t)
+	}
+}

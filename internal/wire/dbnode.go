@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/sqlparse"
+)
+
+// DBNode is a federation member database: it owns the tables of one
+// site and answers sub-queries and object fetches over TCP.
+type DBNode struct {
+	// Site names the site this node serves; queries for tables owned
+	// by other sites are rejected.
+	Site string
+
+	db     *engine.DB
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewDBNode builds a node serving the given site of a release. The
+// engine holds the full release; ownership is enforced per query.
+func NewDBNode(site string, db *engine.DB) *DBNode {
+	return &DBNode{Site: site, db: db, logf: log.Printf}
+}
+
+// SetLogf replaces the node's logger (tests silence it).
+func (n *DBNode) SetLogf(f func(string, ...any)) { n.logf = f }
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free
+// port) and returns the bound address.
+func (n *DBNode) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (n *DBNode) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	var err error
+	if n.ln != nil {
+		err = n.ln.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *DBNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if !closed && !errors.Is(err, net.ErrClosed) {
+				n.logf("dbnode %s: accept: %v", n.Site, err)
+			}
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *DBNode) serveConn(conn net.Conn) {
+	for {
+		t, body, _, err := ReadFrame(conn)
+		if err != nil {
+			return // peer closed or protocol failure; drop the conn
+		}
+		switch t {
+		case MsgQuery:
+			var q QueryMsg
+			if err := Decode(body, &q); err != nil {
+				writeErr(conn, err)
+				continue
+			}
+			res, err := n.execute(q.SQL)
+			if err != nil {
+				writeErr(conn, err)
+				continue
+			}
+			WriteFrame(conn, MsgResult, res)
+		case MsgFetch:
+			var f FetchMsg
+			if err := Decode(body, &f); err != nil {
+				writeErr(conn, err)
+				continue
+			}
+			size, err := n.objectSize(f.Object)
+			if err != nil {
+				writeErr(conn, err)
+				continue
+			}
+			WriteFrame(conn, MsgFetchAck, FetchAckMsg{Object: f.Object, Size: size})
+		default:
+			writeErr(conn, fmt.Errorf("dbnode: unexpected message type %d", t))
+		}
+	}
+}
+
+// execute runs a sub-query after checking that every referenced table
+// belongs to this node's site.
+func (n *DBNode) execute(sql string) (*ResultMsg, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	b, err := engine.Bind(n.db.Schema(), stmt)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range b.Tables {
+		if t.Site != n.Site {
+			return nil, fmt.Errorf("dbnode %s: table %s is owned by %s", n.Site, t.Name, t.Site)
+		}
+	}
+	res, err := n.db.Execute(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultMsg{Columns: res.Columns, Rows: res.Rows, Bytes: res.Bytes, Tuples: res.Tuples}, nil
+}
+
+// objectSize resolves an object id ("release/table[.column]") owned
+// by this site to its logical size.
+func (n *DBNode) objectSize(object string) (int64, error) {
+	s := n.db.Schema()
+	rest := object
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		if rest[:i] != s.Name {
+			return 0, fmt.Errorf("dbnode: object %s is not in release %s", object, s.Name)
+		}
+		rest = rest[i+1:]
+	}
+	if name, ok := strings.CutPrefix(rest, "view:"); ok {
+		for _, v := range catalog.StandardViews(s) {
+			if v.Name != name {
+				continue
+			}
+			t := s.Table(v.Table)
+			if t == nil {
+				break
+			}
+			if t.Site != n.Site {
+				return 0, fmt.Errorf("dbnode %s: object %s is owned by %s", n.Site, object, t.Site)
+			}
+			return v.Bytes(t), nil
+		}
+		return 0, fmt.Errorf("dbnode: unknown view in object %s", object)
+	}
+	tableName, colName := rest, ""
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		tableName, colName = rest[:i], rest[i+1:]
+	}
+	t := s.Table(tableName)
+	if t == nil {
+		return 0, fmt.Errorf("dbnode: unknown table in object %s", object)
+	}
+	if t.Site != n.Site {
+		return 0, fmt.Errorf("dbnode %s: object %s is owned by %s", n.Site, object, t.Site)
+	}
+	if colName == "" {
+		return t.Bytes(), nil
+	}
+	c := t.Column(colName)
+	if c == nil {
+		return 0, fmt.Errorf("dbnode: unknown column in object %s", object)
+	}
+	return c.Width() * t.Rows, nil
+}
+
+func writeErr(conn net.Conn, err error) {
+	WriteFrame(conn, MsgError, ErrorMsg{Message: err.Error()})
+}
+
+// SiteOf returns the owning site of a schema table, for wiring
+// proxies to nodes.
+func SiteOf(s *catalog.Schema, table string) (string, error) {
+	t := s.Table(table)
+	if t == nil {
+		return "", fmt.Errorf("wire: unknown table %s", table)
+	}
+	return t.Site, nil
+}

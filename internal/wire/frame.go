@@ -1,0 +1,93 @@
+// Package wire implements the federation's TCP protocol and the two
+// daemon roles of the paper's prototype: database nodes (bydbd) that
+// serve per-site sub-queries and object fetches, and the proxy
+// (byproxyd) that collocates the mediator with a bypass-yield cache.
+//
+// Framing is length-prefixed: a 4-byte big-endian payload length, a
+// 1-byte message type, then a JSON payload. Result tuples are bounded
+// (engine.Config.MaxResultRows), so frames stay small; the paper's
+// gigabyte-scale flows are accounted logically (see the Proxy type).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgQuery carries SQL from client to proxy, or a sub-query from
+	// proxy to a database node.
+	MsgQuery MsgType = 1
+	// MsgResult returns an execution result.
+	MsgResult MsgType = 2
+	// MsgError returns a failure.
+	MsgError MsgType = 3
+	// MsgFetch asks a database node for a whole object (a cache
+	// load).
+	MsgFetch MsgType = 4
+	// MsgFetchAck acknowledges an object fetch with its logical size.
+	MsgFetchAck MsgType = 5
+	// MsgStats asks the proxy for its accounting.
+	MsgStats MsgType = 6
+	// MsgStatsResult returns the proxy accounting.
+	MsgStatsResult MsgType = 7
+)
+
+// MaxFrame bounds accepted payloads (defense against corrupt length
+// prefixes).
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one frame and returns the bytes put on the wire.
+func WriteFrame(w io.Writer, t MsgType, payload any) (int, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(body), nil
+}
+
+// ReadFrame reads one frame, unmarshalling the payload into dst if
+// dst is non-nil after the caller has inspected the returned type via
+// the two-step ReadHeader/DecodeBody path; most callers use
+// ReadInto.
+func ReadFrame(r io.Reader) (MsgType, []byte, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, 0, err
+	}
+	return MsgType(hdr[4]), body, len(hdr) + int(n), nil
+}
+
+// Decode unmarshals a frame body.
+func Decode(body []byte, dst any) error {
+	if err := json.Unmarshal(body, dst); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}

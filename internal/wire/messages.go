@@ -1,0 +1,76 @@
+package wire
+
+import "bypassyield/internal/core"
+
+// QueryMsg carries a SQL statement.
+type QueryMsg struct {
+	SQL string `json:"sql"`
+}
+
+// ResultMsg returns an execution result plus, from the proxy, the
+// cache decisions the query triggered.
+type ResultMsg struct {
+	// Columns names the output columns.
+	Columns []string `json:"columns"`
+	// Rows is the logical result cardinality.
+	Rows int64 `json:"rows"`
+	// Bytes is the logical result size (yield).
+	Bytes int64 `json:"bytes"`
+	// Tuples holds a bounded sample of result rows.
+	Tuples [][]float64 `json:"tuples,omitempty"`
+	// Decisions lists per-object cache handling (proxy responses
+	// only).
+	Decisions []DecisionMsg `json:"decisions,omitempty"`
+}
+
+// DecisionMsg is one per-object cache decision.
+type DecisionMsg struct {
+	Object   string `json:"object"`
+	Site     string `json:"site"`
+	Yield    int64  `json:"yield"`
+	Decision string `json:"decision"`
+}
+
+// ErrorMsg returns a failure message.
+type ErrorMsg struct {
+	Message string `json:"message"`
+}
+
+// FetchMsg asks a node for a whole object.
+type FetchMsg struct {
+	Object string `json:"object"`
+}
+
+// FetchAckMsg acknowledges a fetch with the object's logical size —
+// the WAN bytes the transfer represents.
+type FetchAckMsg struct {
+	Object string `json:"object"`
+	Size   int64  `json:"size"`
+}
+
+// StatsMsg requests proxy statistics (empty payload).
+type StatsMsg struct{}
+
+// StatsResultMsg returns the proxy's state: the paper's flow
+// accounting plus physical transport counters for the prototype's own
+// frames.
+type StatsResultMsg struct {
+	// Policy names the active cache policy.
+	Policy string `json:"policy"`
+	// Granularity is "tables" or "columns".
+	Granularity string `json:"granularity"`
+	// Acct is the logical flow accounting (Figure 1).
+	Acct core.Accounting `json:"acct"`
+	// CacheUsed and CacheCapacity describe the cache in bytes.
+	CacheUsed     int64 `json:"cache_used"`
+	CacheCapacity int64 `json:"cache_capacity"`
+	// TransportTx/Rx count physical frame bytes the proxy exchanged
+	// with database nodes.
+	TransportTx int64 `json:"transport_tx"`
+	TransportRx int64 `json:"transport_rx"`
+	// Queries is the number of client queries served.
+	Queries int64 `json:"queries"`
+	// CachedObjects lists currently cached object ids (bounded; only
+	// populated when the policy exposes its contents).
+	CachedObjects []string `json:"cached_objects,omitempty"`
+}

@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/sqlparse"
+)
+
+// Proxy is the paper's mediator-collocated bypass-yield cache as a
+// network daemon. Clients send SQL; the proxy mediates the query,
+// drives the cache policy, and exchanges sub-queries and object
+// fetches with the per-site database nodes for every bypassed or
+// loaded object.
+//
+// Byte economics are logical (the mediator's Figure-1 accounting over
+// logical result sizes); the node RPCs carry bounded tuple samples,
+// and their physical frame bytes are tracked separately as transport
+// counters. This keeps the prototype runnable on one machine while
+// preserving the paper's cost model exactly.
+type Proxy struct {
+	mu        sync.Mutex
+	med       *federation.Mediator
+	gran      federation.Granularity
+	nodeAddrs map[string]string // site → address
+	nodeConns map[string]net.Conn
+	tx, rx    int64
+
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewProxy builds a proxy around a mediator. nodeAddrs maps each site
+// to its database node's TCP address; sites absent from the map are
+// served without node RPCs (pure simulation mode).
+func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs map[string]string) *Proxy {
+	return &Proxy{
+		med:       med,
+		gran:      gran,
+		nodeAddrs: nodeAddrs,
+		nodeConns: make(map[string]net.Conn),
+		logf:      log.Printf,
+	}
+}
+
+// SetLogf replaces the proxy's logger.
+func (p *Proxy) SetLogf(f func(string, ...any)) { p.logf = f }
+
+// Listen starts accepting clients on addr and returns the bound
+// address.
+func (p *Proxy) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, closes node connections, and waits.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for _, c := range p.nodeConns {
+		c.Close()
+	}
+	p.nodeConns = make(map[string]net.Conn)
+	p.mu.Unlock()
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if !closed && !errors.Is(err, net.ErrClosed) {
+				p.logf("proxy: accept: %v", err)
+			}
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer conn.Close()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+func (p *Proxy) serveConn(conn net.Conn) {
+	for {
+		t, body, _, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch t {
+		case MsgQuery:
+			var q QueryMsg
+			if err := Decode(body, &q); err != nil {
+				writeErr(conn, err)
+				continue
+			}
+			res, err := p.handleQuery(q.SQL)
+			if err != nil {
+				writeErr(conn, err)
+				continue
+			}
+			WriteFrame(conn, MsgResult, res)
+		case MsgStats:
+			WriteFrame(conn, MsgStatsResult, p.stats())
+		default:
+			writeErr(conn, fmt.Errorf("proxy: unexpected message type %d", t))
+		}
+	}
+}
+
+// handleQuery mediates one client statement.
+func (p *Proxy) handleQuery(sql string) (*ResultMsg, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.med.QueryStmt(sql, stmt)
+	if err != nil {
+		return nil, err
+	}
+	res := &ResultMsg{
+		Columns: rep.Result.Columns,
+		Rows:    rep.Result.Rows,
+		Bytes:   rep.Result.Bytes,
+		Tuples:  rep.Result.Tuples,
+	}
+	// Per-site protocol traffic: ship sub-queries for tables with any
+	// bypassed object, and object fetches for every load.
+	bypassedTables := map[string]bool{} // table name → has bypassed object
+	for _, d := range rep.Decisions {
+		res.Decisions = append(res.Decisions, DecisionMsg{
+			Object:   string(d.Object),
+			Site:     d.Site,
+			Yield:    d.Yield,
+			Decision: d.Decision.String(),
+		})
+		switch d.Decision {
+		case core.Bypass:
+			bypassedTables[tableOfObject(string(d.Object))] = true
+		case core.Load:
+			if err := p.fetchObject(string(d.Object), d.Site); err != nil {
+				p.logf("proxy: fetch %s: %v", d.Object, err)
+			}
+		}
+	}
+	if len(bypassedTables) > 0 {
+		bound, err := engine.Bind(p.med.Schema(), stmt)
+		if err == nil {
+			for i, sub := range federation.Subqueries(bound) {
+				t := bound.Tables[i]
+				if !bypassedTables[t.Name] {
+					continue
+				}
+				if err := p.shipSubquery(sub.String(), t.Site); err != nil {
+					p.logf("proxy: subquery to %s: %v", t.Site, err)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// tableOfObject extracts the table name from an object id
+// ("release/table[.column]").
+func tableOfObject(object string) string {
+	rest := object
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// nodeConn returns a (cached) connection to the site's node, or nil
+// when the site has no configured node (simulation mode).
+func (p *Proxy) nodeConn(site string) (net.Conn, error) {
+	if c, ok := p.nodeConns[site]; ok {
+		return c, nil
+	}
+	addr, ok := p.nodeAddrs[site]
+	if !ok {
+		return nil, nil
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.nodeConns[site] = c
+	return c, nil
+}
+
+// dropConn closes and forgets a node connection after a failure.
+func (p *Proxy) dropConn(site string) {
+	if c, ok := p.nodeConns[site]; ok {
+		c.Close()
+		delete(p.nodeConns, site)
+	}
+}
+
+// shipSubquery sends a sub-query to the owning node and drains the
+// response, counting transport bytes.
+func (p *Proxy) shipSubquery(sql, site string) error {
+	conn, err := p.nodeConn(site)
+	if err != nil || conn == nil {
+		return err
+	}
+	n, err := WriteFrame(conn, MsgQuery, QueryMsg{SQL: sql})
+	if err != nil {
+		p.dropConn(site)
+		return err
+	}
+	p.tx += int64(n)
+	t, body, rn, err := ReadFrame(conn)
+	if err != nil {
+		p.dropConn(site)
+		return err
+	}
+	p.rx += int64(rn)
+	if t == MsgError {
+		var e ErrorMsg
+		if err := Decode(body, &e); err != nil {
+			return err
+		}
+		return fmt.Errorf("node %s: %s", site, e.Message)
+	}
+	return nil
+}
+
+// fetchObject performs an object-fetch RPC for a load decision.
+func (p *Proxy) fetchObject(object, site string) error {
+	conn, err := p.nodeConn(site)
+	if err != nil || conn == nil {
+		return err
+	}
+	n, err := WriteFrame(conn, MsgFetch, FetchMsg{Object: object})
+	if err != nil {
+		p.dropConn(site)
+		return err
+	}
+	p.tx += int64(n)
+	t, body, rn, err := ReadFrame(conn)
+	if err != nil {
+		p.dropConn(site)
+		return err
+	}
+	p.rx += int64(rn)
+	if t == MsgError {
+		var e ErrorMsg
+		if err := Decode(body, &e); err != nil {
+			return err
+		}
+		return fmt.Errorf("node %s: %s", site, e.Message)
+	}
+	return nil
+}
+
+// stats snapshots the proxy state.
+func (p *Proxy) stats() StatsResultMsg {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	msg := StatsResultMsg{
+		Granularity: p.gran.String(),
+		Acct:        p.med.Accounting(),
+		TransportTx: p.tx,
+		TransportRx: p.rx,
+		Queries:     p.med.Clock(),
+	}
+	if pol := p.med.Policy(); pol != nil {
+		msg.Policy = pol.Name()
+		msg.CacheUsed = pol.Used()
+		msg.CacheCapacity = pol.Capacity()
+		if cl, ok := pol.(core.ContentLister); ok {
+			ids := cl.Contents()
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			const cap = 64
+			if len(ids) > cap {
+				ids = ids[:cap]
+			}
+			for _, id := range ids {
+				msg.CachedObjects = append(msg.CachedObjects, string(id))
+			}
+		}
+	} else {
+		msg.Policy = "none"
+	}
+	return msg
+}

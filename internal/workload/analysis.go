@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+
+	"bypassyield/internal/sqlparse"
+	"bypassyield/internal/trace"
+)
+
+// This file implements the workload characterization behind the
+// paper's Section 6.1: query containment (Figure 4) and schema
+// locality over columns and tables (Figures 5–6).
+
+// LocalityPoint is one scatter point: query number vs. referenced
+// item (column or table), exactly the axes of Figures 5 and 6.
+type LocalityPoint struct {
+	// Query is the query's sequence number.
+	Query int64
+	// Item is the referenced column ("photoobj.ra") or table
+	// ("photoobj").
+	Item string
+}
+
+// ColumnLocality extracts (query, column) reference points from a
+// column-granularity trace. Accesses with zero yield still count as
+// references (the query touched the column).
+func ColumnLocality(recs []trace.Record) []LocalityPoint {
+	var pts []LocalityPoint
+	for _, r := range recs {
+		for _, a := range r.Accesses {
+			item := itemOf(a.Object)
+			if !strings.Contains(item, ".") {
+				continue // table-granularity access
+			}
+			pts = append(pts, LocalityPoint{Query: r.Seq, Item: item})
+		}
+	}
+	return pts
+}
+
+// TableLocality extracts (query, table) reference points from a trace
+// of either granularity (column objects collapse to their table).
+func TableLocality(recs []trace.Record) []LocalityPoint {
+	var pts []LocalityPoint
+	for _, r := range recs {
+		seen := map[string]bool{}
+		for _, a := range r.Accesses {
+			item := itemOf(a.Object)
+			if i := strings.IndexByte(item, '.'); i >= 0 {
+				item = item[:i]
+			}
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			pts = append(pts, LocalityPoint{Query: r.Seq, Item: item})
+		}
+	}
+	return pts
+}
+
+// itemOf strips the release prefix from an object id.
+func itemOf(object string) string {
+	if i := strings.IndexByte(object, '/'); i >= 0 {
+		return object[i+1:]
+	}
+	return object
+}
+
+// LocalitySummary quantifies schema locality: how few items cover
+// most references.
+type LocalitySummary struct {
+	// Items is the number of distinct referenced items.
+	Items int
+	// References is the total reference count.
+	References int
+	// Top90 is the smallest number of items covering ≥ 90% of
+	// references; Top90Frac is that count over Items. Strong schema
+	// locality means a small fraction.
+	Top90     int
+	Top90Frac float64
+}
+
+// SummarizeLocality computes coverage statistics over scatter points.
+func SummarizeLocality(pts []LocalityPoint) LocalitySummary {
+	counts := map[string]int{}
+	for _, p := range pts {
+		counts[p.Item]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	sum := 0
+	for _, f := range freqs {
+		sum += f
+	}
+	s := LocalitySummary{Items: len(counts), References: sum}
+	if sum == 0 {
+		return s
+	}
+	cover, need := 0, int(0.9*float64(sum)+0.999)
+	for i, f := range freqs {
+		cover += f
+		if cover >= need {
+			s.Top90 = i + 1
+			break
+		}
+	}
+	s.Top90Frac = float64(s.Top90) / float64(s.Items)
+	return s
+}
+
+// ContainmentPoint is one Figure-4 scatter point: an identity query
+// and the object identifier it asked for.
+type ContainmentPoint struct {
+	// Query is the query's sequence number.
+	Query int64
+	// ObjectID is the celestial identifier requested.
+	ObjectID int64
+}
+
+// ContainmentReport summarizes identifier reuse among identity
+// queries — the paper's proxy for query containment.
+type ContainmentReport struct {
+	// Points are the scatter points in query order (Figure 4 shows a
+	// 50-query window of these).
+	Points []ContainmentPoint
+	// Distinct is the number of distinct identifiers.
+	Distinct int
+	// Reused is the number of queries whose identifier appeared
+	// before.
+	Reused int
+}
+
+// ReuseRate is Reused over total identity queries.
+func (r ContainmentReport) ReuseRate() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return float64(r.Reused) / float64(len(r.Points))
+}
+
+// QueryContainment parses identity-class queries and reports
+// identifier reuse. Queries that fail to parse or carry no key
+// equality are skipped.
+func QueryContainment(recs []trace.Record) ContainmentReport {
+	var rep ContainmentReport
+	seen := map[int64]bool{}
+	for _, r := range recs {
+		if r.Class != ClassIdentity {
+			continue
+		}
+		stmt, err := sqlparse.Parse(r.SQL)
+		if err != nil {
+			continue
+		}
+		id, ok := keyEquality(stmt)
+		if !ok {
+			continue
+		}
+		rep.Points = append(rep.Points, ContainmentPoint{Query: r.Seq, ObjectID: id})
+		if seen[id] {
+			rep.Reused++
+		} else {
+			seen[id] = true
+		}
+	}
+	rep.Distinct = len(seen)
+	return rep
+}
+
+// keyEquality extracts the identifier from an `objid = N` conjunct.
+func keyEquality(stmt *sqlparse.SelectStmt) (int64, bool) {
+	for _, c := range stmt.Where {
+		if c.Between || c.RightCol != nil || c.Op != sqlparse.OpEq {
+			continue
+		}
+		if strings.HasSuffix(c.Left.Column, "objid") {
+			return int64(c.Value), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/trace"
+)
+
+// TestMediatorTraceReplay drives the live mediator with a synthesized
+// workload — the paper's methodology of re-executing traces against
+// the server — and checks that executed yields track the trace's
+// analytic yields and that accounting stays conserved end to end.
+func TestMediatorTraceReplay(t *testing.T) {
+	p := ScaledProfile(EDRProfile(), 200)
+	recs, err := Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = trace.Preprocess(recs)
+
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := s.TotalBytes() * 4 / 10
+	med, err := federation.New(federation.Config{
+		Schema:      s,
+		Engine:      db,
+		Policy:      core.NewRateProfile(core.RateProfileConfig{Capacity: capacity}),
+		Granularity: federation.Columns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var analytic, executed int64
+	replayed := 0
+	for _, rec := range recs {
+		rep, err := med.Query(rec.SQL)
+		if err != nil {
+			t.Fatalf("replay %q: %v", rec.SQL, err)
+		}
+		analytic += rec.Yield
+		executed += rep.Result.Bytes
+		replayed++
+		// Per-query decision yields must sum to the executed yield.
+		var sum int64
+		for _, d := range rep.Decisions {
+			sum += d.Yield
+		}
+		if len(rep.Decisions) > 0 && sum != rep.Result.Bytes {
+			t.Fatalf("%q: decision yields %d != executed %d", rec.SQL, sum, rep.Result.Bytes)
+		}
+	}
+	if replayed < 100 {
+		t.Fatalf("replayed only %d queries", replayed)
+	}
+	// Sampled execution should track the analytic totals within ~20%.
+	rel := math.Abs(float64(executed)-float64(analytic)) / float64(analytic)
+	if rel > 0.2 {
+		t.Fatalf("executed %d vs analytic %d (%.0f%% apart)", executed, analytic, rel*100)
+	}
+	// End-to-end conservation.
+	acct := med.Accounting()
+	if acct.DeliveredBytes() != executed {
+		t.Fatalf("delivered %d != executed %d", acct.DeliveredBytes(), executed)
+	}
+	if acct.WANBytes() >= executed {
+		t.Fatal("cache produced no savings over the replay")
+	}
+}

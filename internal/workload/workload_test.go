@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/sqlparse"
+	"bypassyield/internal/trace"
+)
+
+// testProfile is a fast, calibrated profile over EDR.
+func testProfile() Profile {
+	p := EDRProfile()
+	return ScaledProfile(p, 20) // ≈1383 queries, ≈60.8 GB
+}
+
+func TestGenerateBasics(t *testing.T) {
+	p := testProfile()
+	recs, err := Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != p.Queries+p.LogQueries {
+		t.Fatalf("records = %d, want %d", len(recs), p.Queries+p.LogQueries)
+	}
+	if err := trace.Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCalibratedSequenceCost(t *testing.T) {
+	p := testProfile()
+	recs, err := Generate(p, federation.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	science := trace.Preprocess(recs)
+	got := trace.SequenceCost(science)
+	rel := math.Abs(float64(got)-float64(p.TargetSequenceCost)) / float64(p.TargetSequenceCost)
+	if rel > 0.05 {
+		t.Fatalf("sequence cost = %d, target %d (%.1f%% off)", got, p.TargetSequenceCost, rel*100)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := testProfile()
+	a, err := Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same profile must generate identical traces")
+	}
+}
+
+func TestGenerateSQLParsesAndBinds(t *testing.T) {
+	p := testProfile()
+	recs, err := Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := catalog.EDR()
+	for _, r := range trace.Preprocess(recs) {
+		stmt, err := sqlparse.Parse(r.SQL)
+		if err != nil {
+			t.Fatalf("generated SQL does not parse: %q: %v", r.SQL, err)
+		}
+		b, err := engine.Bind(s, stmt)
+		if err != nil {
+			t.Fatalf("generated SQL does not bind: %q: %v", r.SQL, err)
+		}
+		// The recorded yield must equal the analytic estimate.
+		_, yield, err := engine.EstimateBound(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if yield != r.Yield {
+			t.Fatalf("recorded yield %d != estimate %d for %q", r.Yield, yield, r.SQL)
+		}
+	}
+}
+
+func TestGenerateClassMix(t *testing.T) {
+	p := testProfile()
+	recs, err := Generate(p, federation.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Class]++
+	}
+	if counts[trace.ClassLog] != p.LogQueries {
+		t.Fatalf("log queries = %d, want %d", counts[trace.ClassLog], p.LogQueries)
+	}
+	if counts[ClassCampaign] == 0 {
+		t.Fatal("expected campaign-burst queries in the trace")
+	}
+	// Class proportions hold among the non-campaign science queries.
+	total := float64(p.Queries - counts[ClassCampaign])
+	for class, wantFrac := range map[string]float64{
+		ClassRange: 0.32, ClassSpatial: 0.17, ClassIdentity: 0.10,
+		ClassJoin: 0.08, ClassAggregate: 0.05, ClassBulk: 0.28,
+	} {
+		got := float64(counts[class]) / total
+		if math.Abs(got-wantFrac) > 0.05 {
+			t.Fatalf("class %s fraction = %.3f, want ≈ %.2f", class, got, wantFrac)
+		}
+	}
+}
+
+func TestGenerateAccessObjectsExist(t *testing.T) {
+	p := testProfile()
+	for _, g := range []federation.Granularity{federation.Tables, federation.Columns} {
+		recs, err := Generate(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := federation.Objects(catalog.EDR(), g, nil)
+		for _, r := range trace.Preprocess(recs) {
+			for _, a := range r.Accesses {
+				if _, ok := objs[core.ObjectID(a.Object)]; !ok {
+					t.Fatalf("access references unknown object %s (granularity %s)", a.Object, g)
+				}
+			}
+		}
+	}
+}
+
+func TestColumnLocalityIsStrong(t *testing.T) {
+	// Figures 5–6: references concentrate on a small fraction of
+	// columns, with long-lasting reuse.
+	p := testProfile()
+	recs, err := Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ColumnLocality(trace.Preprocess(recs))
+	sum := SummarizeLocality(pts)
+	if sum.Items < 20 {
+		t.Fatalf("too few distinct columns referenced: %d", sum.Items)
+	}
+	if sum.Top90Frac > 0.5 {
+		t.Fatalf("90%% of references spread over %.0f%% of columns; want concentrated (≤ 50%%)",
+			sum.Top90Frac*100)
+	}
+}
+
+func TestTableLocality(t *testing.T) {
+	p := testProfile()
+	recs, err := Generate(p, federation.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := TableLocality(trace.Preprocess(recs))
+	sum := SummarizeLocality(pts)
+	// The workload concentrates on photoobj/specobj plus the three
+	// campaign tables, out of 9.
+	if sum.Top90 > 5 {
+		t.Fatalf("90%% of table references need %d tables; want ≤ 5", sum.Top90)
+	}
+}
+
+func TestQueryContainmentIsLow(t *testing.T) {
+	// Figure 4: few object identifiers are reused — query caching is
+	// unattractive.
+	p := testProfile()
+	recs, err := Generate(p, federation.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := QueryContainment(trace.Preprocess(recs))
+	if len(rep.Points) < 50 {
+		t.Fatalf("too few identity queries analyzed: %d", len(rep.Points))
+	}
+	if rep.ReuseRate() > 0.15 {
+		t.Fatalf("identifier reuse rate = %.2f, want low (≤ 0.15)", rep.ReuseRate())
+	}
+	if rep.Distinct < len(rep.Points)*8/10 {
+		t.Fatalf("distinct ids = %d of %d queries; want mostly unique", rep.Distinct, len(rep.Points))
+	}
+}
+
+func TestScaledProfile(t *testing.T) {
+	p := EDRProfile()
+	s := ScaledProfile(p, 10)
+	if s.Queries != p.Queries/10 || s.TargetSequenceCost != p.TargetSequenceCost/10 {
+		t.Fatalf("scaled = %+v", s)
+	}
+	if ScaledProfile(p, 1).Queries != p.Queries {
+		t.Fatal("factor 1 should be identity")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Profile{Queries: 10}, federation.Tables); err == nil {
+		t.Fatal("missing schema should error")
+	}
+	if _, err := Generate(Profile{Schema: catalog.EDR()}, federation.Tables); err == nil {
+		t.Fatal("zero queries should error")
+	}
+}
+
+func TestMixNormalization(t *testing.T) {
+	m := Mix{Range: 2, Spatial: 2}.normalized()
+	if m.Range != 0.5 || m.Spatial != 0.5 {
+		t.Fatalf("normalized = %+v", m)
+	}
+	z := Mix{}.normalized()
+	if z.Range != 1 {
+		t.Fatalf("zero mix should default to all-range, got %+v", z)
+	}
+}
+
+func TestSummarizeLocalityEmpty(t *testing.T) {
+	s := SummarizeLocality(nil)
+	if s.Items != 0 || s.Top90 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestGenerateViewsGranularity(t *testing.T) {
+	// End-to-end: traces decompose at Views granularity and every
+	// access resolves in the Views object universe.
+	p := testProfile()
+	recs, err := Generate(p, federation.Views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := federation.Objects(catalog.EDR(), federation.Views, nil)
+	views := 0
+	for _, r := range trace.Preprocess(recs) {
+		for _, a := range r.Accesses {
+			if _, ok := objs[core.ObjectID(a.Object)]; !ok {
+				t.Fatalf("unknown object %s", a.Object)
+			}
+			if strings.Contains(a.Object, "view:") {
+				views++
+			}
+		}
+	}
+	if views == 0 {
+		t.Fatal("no view accesses generated; the workload should produce view-matching queries")
+	}
+}
