@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast allocation/throughput smoke over the hot paths: the obs
+# registry (must stay allocation-free) and one end-to-end experiment.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1000x ./internal/obs/
+	$(GO) test -run='^$$' -bench=BenchmarkFig7TableCurves -benchtime=1x .

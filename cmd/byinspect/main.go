@@ -1,11 +1,14 @@
-// Command byinspect analyzes a workload trace file: class mix, yield
+// Command byinspect analyzes a workload trace file — class mix, yield
 // distribution, sequence cost, schema locality (the paper's Figures
-// 5–6), and query containment (Figure 4).
+// 5–6), and query containment (Figure 4) — or, with -addr, scrapes a
+// live byproxyd/bydbd metrics snapshot and renders it.
 //
 // Usage:
 //
 //	bytrace -release edr -scale 50 -out edr.jsonl.gz
 //	byinspect -trace edr.jsonl.gz
+//	byinspect -addr localhost:7100          # live metrics, human table
+//	byinspect -addr localhost:7100 -json    # raw snapshot JSON
 package main
 
 import (
@@ -20,13 +23,21 @@ import (
 
 func main() {
 	var (
-		path = flag.String("trace", "", "trace file (JSONL, optionally .gz)")
-		top  = flag.Int("top", 10, "show the top-N items in each ranking")
-		prep = flag.Bool("preprocess", true, "drop log-self queries before analysis")
+		path   = flag.String("trace", "", "trace file (JSONL, optionally .gz)")
+		top    = flag.Int("top", 10, "show the top-N items in each ranking")
+		prep   = flag.Bool("preprocess", true, "drop log-self queries before analysis")
+		addr   = flag.String("addr", "", "scrape live metrics from a proxy or node at this address")
+		asJSON = flag.Bool("json", false, "with -addr, print the raw snapshot as JSON")
 	)
 	flag.Parse()
 
-	if err := run(*path, *top, *prep); err != nil {
+	var err error
+	if *addr != "" {
+		err = runLive(os.Stdout, *addr, *asJSON)
+	} else {
+		err = run(*path, *top, *prep)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "byinspect:", err)
 		os.Exit(1)
 	}
@@ -34,7 +45,7 @@ func main() {
 
 func run(path string, top int, prep bool) error {
 	if path == "" {
-		return fmt.Errorf("-trace is required")
+		return fmt.Errorf("one of -trace or -addr is required")
 	}
 	recs, err := trace.ReadFile(path)
 	if err != nil {

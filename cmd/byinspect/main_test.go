@@ -1,11 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/trace"
+	"bypassyield/internal/wire"
 	"bypassyield/internal/workload"
 )
 
@@ -30,5 +38,84 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(filepath.Join(t.TempDir(), "absent.jsonl"), 5, true); err == nil {
 		t.Fatal("absent file should error")
+	}
+}
+
+// liveProxy starts an instrumented proxy and pushes a few queries
+// through it so the snapshot has content to render.
+func liveProxy(t *testing.T) string {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db,
+		Policy:      core.NewRateProfile(core.RateProfileConfig{Capacity: s.TotalBytes()}),
+		Granularity: federation.Columns,
+		Obs:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wire.NewProxy(med, federation.Columns, nil)
+	p.SetLogf(func(string, ...any) {})
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query("select ra, dec from photoobj where ra between 0 and 350"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return addr
+}
+
+func TestRunLiveTable(t *testing.T) {
+	addr := liveProxy(t)
+	var buf bytes.Buffer
+	if err := runLive(&buf, addr, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"metrics from byproxyd",
+		"core.decisions",
+		"rate-profile/bypass",
+		"federation.query_latency_us",
+		"histograms:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLiveJSON(t *testing.T) {
+	addr := liveProxy(t)
+	var buf bytes.Buffer
+	if err := runLive(&buf, addr, true); err != nil {
+		t.Fatal(err)
+	}
+	var m wire.MetricsResultMsg
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if m.Source != "byproxyd" || m.Snapshot.CounterTotal("core.decisions") == 0 {
+		t.Fatalf("decoded = %+v", m)
+	}
+}
+
+func TestRunLiveErrors(t *testing.T) {
+	if err := runLive(&bytes.Buffer{}, "127.0.0.1:1", false); err == nil {
+		t.Fatal("dial failure should error")
 	}
 }

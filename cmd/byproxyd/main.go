@@ -16,35 +16,53 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/wire"
 )
 
+// options bundles the proxy's tunables (one per flag).
+type options struct {
+	release  string
+	addr     string
+	policy   string
+	cachePct float64
+	gran     string
+	nodes    string
+	sample   int64
+	seed     int64
+
+	rpcTimeout time.Duration // node RPC deadline (0 disables)
+	traceOut   string        // JSONL span log path ("" disables)
+}
+
 func main() {
-	var (
-		release  = flag.String("release", "edr", "data release: edr or dr1")
-		addr     = flag.String("addr", ":7100", "listen address for clients")
-		policy   = flag.String("policy", "rate-profile", "cache policy: "+strings.Join(core.PolicyNames(), ", "))
-		cachePct = flag.Float64("cache-pct", 0.4, "cache size as a fraction of the database")
-		gran     = flag.String("granularity", "columns", "object granularity: tables or columns")
-		nodes    = flag.String("nodes", "", "comma-separated site=addr pairs of database nodes (empty = simulate locally)")
-		sample   = flag.Int64("sample", 1000, "materialize 1 of every N logical rows")
-		seed     = flag.Int64("seed", 1, "data synthesis seed (must match the nodes')")
-	)
+	var o options
+	flag.StringVar(&o.release, "release", "edr", "data release: edr or dr1")
+	flag.StringVar(&o.addr, "addr", ":7100", "listen address for clients")
+	flag.StringVar(&o.policy, "policy", "rate-profile", "cache policy: "+strings.Join(core.PolicyNames(), ", "))
+	flag.Float64Var(&o.cachePct, "cache-pct", 0.4, "cache size as a fraction of the database")
+	flag.StringVar(&o.gran, "granularity", "columns", "object granularity: tables or columns")
+	flag.StringVar(&o.nodes, "nodes", "", "comma-separated site=addr pairs of database nodes (empty = simulate locally)")
+	flag.Int64Var(&o.sample, "sample", 1000, "materialize 1 of every N logical rows")
+	flag.Int64Var(&o.seed, "seed", 1, "data synthesis seed (must match the nodes')")
+	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", wire.DefaultRPCTimeout, "deadline for node RPCs (0 disables)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "append per-query spans as JSONL to this file")
 	flag.Parse()
 
-	if err := run(*release, *addr, *policy, *cachePct, *gran, *nodes, *sample, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "byproxyd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(release, addr, policy string, cachePct float64, gran, nodes string, sample, seed int64) error {
-	proxy, bound, desc, err := start(release, addr, policy, cachePct, gran, nodes, sample, seed)
+func run(o options) error {
+	proxy, bound, desc, err := start(o)
 	if err != nil {
 		return err
 	}
@@ -58,7 +76,10 @@ func run(release, addr, policy string, cachePct float64, gran, nodes string, sam
 
 // start builds and listens the proxy; split from run so tests can
 // exercise everything but the signal wait.
-func start(release, addr, policy string, cachePct float64, gran, nodes string, sample, seed int64) (*wire.Proxy, string, string, error) {
+func start(o options) (*wire.Proxy, string, string, error) {
+	release, addr, policy := o.release, o.addr, o.policy
+	cachePct, gran, nodes := o.cachePct, o.gran, o.nodes
+	sample, seed := o.sample, o.seed
 	var s *catalog.Schema
 	switch release {
 	case "edr":
@@ -81,8 +102,13 @@ func start(release, addr, policy string, cachePct float64, gran, nodes string, s
 	if err != nil {
 		return nil, "", "", err
 	}
+	// One registry spans the whole daemon: the mediator/policy record
+	// into it, the local engine shares it, and the proxy adopts it, so
+	// a single MsgMetrics snapshot covers every layer.
+	reg := obs.NewRegistry()
+	db.SetObs(reg)
 	med, err := federation.New(federation.Config{
-		Schema: s, Engine: db, Policy: pol, Granularity: g,
+		Schema: s, Engine: db, Policy: pol, Granularity: g, Obs: reg,
 	})
 	if err != nil {
 		return nil, "", "", err
@@ -100,6 +126,14 @@ func start(release, addr, policy string, cachePct float64, gran, nodes string, s
 	}
 
 	proxy := wire.NewProxy(med, g, nodeAddrs)
+	proxy.SetRPCTimeout(o.rpcTimeout)
+	if o.traceOut != "" {
+		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, "", "", err
+		}
+		proxy.SetTracer(obs.NewTracer(obs.NewJSONL(f)))
+	}
 	bound, err := proxy.Listen(addr)
 	if err != nil {
 		return nil, "", "", err

@@ -1,14 +1,27 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bypassyield/internal/wire"
 )
 
+func testOptions() options {
+	return options{
+		release: "edr", addr: "127.0.0.1:0", policy: "rate-profile",
+		cachePct: 0.4, gran: "columns", sample: 100000, seed: 1,
+		rpcTimeout: wire.DefaultRPCTimeout,
+	}
+}
+
 func TestStartAndQuery(t *testing.T) {
-	proxy, addr, desc, err := start("edr", "127.0.0.1:0", "rate-profile", 0.4, "columns", "", 100000, 1)
+	o := testOptions()
+	o.traceOut = filepath.Join(t.TempDir(), "spans.jsonl")
+	proxy, addr, desc, err := start(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,6 +48,38 @@ func TestStartAndQuery(t *testing.T) {
 	if st.Queries != 1 {
 		t.Fatalf("queries = %d", st.Queries)
 	}
+
+	// The daemon serves a unified metrics snapshot spanning the
+	// federation, core, and engine layers.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Source != "byproxyd" {
+		t.Fatalf("source = %q", m.Source)
+	}
+	if got := m.Snapshot.CounterValue("federation.queries", ""); got != 1 {
+		t.Fatalf("federation.queries = %d", got)
+	}
+	if m.Snapshot.CounterValue("engine.rows_scanned", "") == 0 {
+		t.Fatal("engine counters missing from daemon registry")
+	}
+	if m.Snapshot.CounterTotal("core.decisions") == 0 {
+		t.Fatal("decision counters missing from daemon registry")
+	}
+
+	// -trace-out wrote a span for the query.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b, _ := os.ReadFile(o.traceOut)
+		if strings.Contains(string(b), "proxy.query") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("span log missing proxy.query: %q", b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func TestStartErrors(t *testing.T) {
@@ -52,7 +97,9 @@ func TestStartErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, _, _, err := start(tc.release, "127.0.0.1:0", tc.policy, 0.4, tc.gran, tc.nodes, 100000, 1); err == nil {
+			o := testOptions()
+			o.release, o.policy, o.gran, o.nodes = tc.release, tc.policy, tc.gran, tc.nodes
+			if _, _, _, err := start(o); err == nil {
 				t.Fatal("expected error")
 			}
 		})

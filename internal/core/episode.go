@@ -155,6 +155,7 @@ type profileTable struct {
 	cfg         EpisodeConfig
 	maxProfiles int
 	byID        map[ObjectID]*profile
+	tel         *Telemetry // optional; counts episode open/close churn
 }
 
 func newProfileTable(cfg EpisodeConfig, maxProfiles int) *profileTable {
@@ -177,12 +178,14 @@ func (pt *profileTable) observe(t int64, obj Object, yield int64) float64 {
 	// Heuristic (2): idle too long → the burst ended; close it out.
 	if p.open && t-p.lastAccess > pt.cfg.K {
 		p.closeEpisode(pt.cfg.MaxEpisodes)
+		pt.tel.EpisodeClosed()
 	}
 	if !p.open {
 		p.open = true
 		p.started = false
 		p.start = t
 		p.sumYield = 0
+		pt.tel.EpisodeOpened()
 	}
 	p.lastAccess = t
 	p.sumYield += yield
@@ -201,11 +204,13 @@ func (pt *profileTable) observe(t int64, obj Object, yield int64) float64 {
 		// maxLARP > 0 follows the paper's observation that the rate
 		// only increases until the load penalty is overcome.
 		p.closeEpisode(pt.cfg.MaxEpisodes)
+		pt.tel.EpisodeClosed()
 		p.open = true
 		p.started = true
 		p.start = t
 		p.sumYield = yield
 		p.maxLARP = p.larp(t, obj)
+		pt.tel.EpisodeOpened()
 	}
 	return p.lar(pt.cfg.Gamma)
 }
@@ -215,6 +220,9 @@ func (pt *profileTable) observe(t int64, obj Object, yield int64) float64 {
 // the episode history.
 func (pt *profileTable) onLoad(id ObjectID) {
 	if p := pt.byID[id]; p != nil {
+		if p.open {
+			pt.tel.EpisodeClosed()
+		}
 		p.closeEpisode(pt.cfg.MaxEpisodes)
 	}
 }

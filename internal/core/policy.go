@@ -61,6 +61,10 @@ type Simulator struct {
 	// CurveStride is the cumulative-cost sampling interval in
 	// requests; 0 disables curve collection.
 	CurveStride int64
+	// Telemetry, when non-nil, publishes per-decision counts, byte
+	// flows, and eviction/episode churn into an obs registry as the
+	// simulation runs (see NewTelemetry).
+	Telemetry *Telemetry
 }
 
 // Run simulates the trace and returns the result. The policy is NOT
@@ -70,6 +74,9 @@ func (s *Simulator) Run(reqs []Request) (*Result, error) {
 	res := &Result{Policy: s.Policy.Name(), CurveStride: s.CurveStride}
 	a := &res.Acct
 	evBefore := s.Policy.Evictions()
+	if ts, ok := s.Policy.(TelemetrySetter); ok && s.Telemetry != nil {
+		ts.SetTelemetry(s.Telemetry)
+	}
 	for i, req := range reqs {
 		a.Queries++
 		for _, acc := range req.Accesses {
@@ -81,6 +88,7 @@ func (s *Simulator) Run(reqs []Request) (*Result, error) {
 			if err := Account(a, obj, acc.Yield, d); err != nil {
 				return nil, &BadDecisionError{Policy: s.Policy.Name(), Decision: d}
 			}
+			s.Telemetry.RecordAccess(res.Policy, obj, acc.Yield, d)
 		}
 		if s.CurveStride > 0 && int64(i+1)%s.CurveStride == 0 {
 			res.Curve = append(res.Curve, a.WANBytes())
@@ -90,6 +98,7 @@ func (s *Simulator) Run(reqs []Request) (*Result, error) {
 		res.Curve = append(res.Curve, a.WANBytes())
 	}
 	a.Evictions = s.Policy.Evictions() - evBefore
+	s.Telemetry.RecordEvictions(res.Policy, a.Evictions)
 	return res, nil
 }
 

@@ -91,6 +91,10 @@ func (r *RateProfile) Reset() {
 // (exposed for tests of the pruning bound).
 func (r *RateProfile) ProfileCount() int { return r.profiles.size() }
 
+// SetTelemetry implements TelemetrySetter: episode open/close churn
+// is published through tel.
+func (r *RateProfile) SetTelemetry(tel *Telemetry) { r.profiles.tel = tel }
+
 // Contents implements ContentLister.
 func (r *RateProfile) Contents() []ObjectID {
 	ids := make([]ObjectID, 0, len(r.entries))

@@ -1,0 +1,110 @@
+package core
+
+import "bypassyield/internal/obs"
+
+// Telemetry publishes the cache core's activity into an obs.Registry:
+// decisions per policy per verdict, the Figure-1 byte flows, eviction
+// and episode churn. The byte counters apply exactly the charging
+// rules of Account, so a registry snapshot reconciles with the
+// mediator's Accounting (D_A = D_S + D_C) — the end-to-end metrics
+// test asserts this.
+//
+// Metric names:
+//
+//	core.decisions            counter family, label "<policy>/<verdict>"
+//	core.evictions            counter family, label "<policy>"
+//	core.accesses             counter
+//	core.bypass_bytes         counter (D_S, cost-scaled)
+//	core.fetch_bytes          counter (D_L)
+//	core.cache_bytes          counter (D_C)
+//	core.yield_bytes          counter (raw yield)
+//	core.episodes_opened      counter
+//	core.episodes_closed      counter
+//
+// A Telemetry built over a nil registry — or a nil *Telemetry — is a
+// no-op, so policies and simulators thread it unconditionally.
+type Telemetry struct {
+	decisions *obs.CounterFamily
+	evictions *obs.CounterFamily
+
+	accesses    *obs.Counter
+	bypassBytes *obs.Counter
+	fetchBytes  *obs.Counter
+	cacheBytes  *obs.Counter
+	yieldBytes  *obs.Counter
+
+	episodesOpened *obs.Counter
+	episodesClosed *obs.Counter
+}
+
+// TelemetrySetter is implemented by policies that publish internal
+// churn (episode open/close, ...) through a Telemetry. The mediator
+// and simulator attach their telemetry to any policy implementing it.
+type TelemetrySetter interface {
+	SetTelemetry(*Telemetry)
+}
+
+// NewTelemetry registers the core metric families in r. A nil r
+// yields a nil Telemetry, whose methods are free no-ops.
+func NewTelemetry(r *obs.Registry) *Telemetry {
+	if r == nil {
+		return nil
+	}
+	return &Telemetry{
+		decisions:      r.CounterFamily("core.decisions"),
+		evictions:      r.CounterFamily("core.evictions"),
+		accesses:       r.Counter("core.accesses"),
+		bypassBytes:    r.Counter("core.bypass_bytes"),
+		fetchBytes:     r.Counter("core.fetch_bytes"),
+		cacheBytes:     r.Counter("core.cache_bytes"),
+		yieldBytes:     r.Counter("core.yield_bytes"),
+		episodesOpened: r.Counter("core.episodes_opened"),
+		episodesClosed: r.Counter("core.episodes_closed"),
+	}
+}
+
+// RecordAccess charges one decided access, mirroring Account's flow
+// rules. Unknown decisions are ignored (the caller surfaces the
+// error through Account).
+func (t *Telemetry) RecordAccess(policy string, obj Object, yield int64, d Decision) {
+	if t == nil {
+		return
+	}
+	t.decisions.Add(policy+"/"+d.String(), 1)
+	t.accesses.Add(1)
+	t.yieldBytes.Add(yield)
+	switch d {
+	case Hit:
+		t.cacheBytes.Add(yield)
+	case Bypass:
+		t.bypassBytes.Add(obj.BypassCost(yield))
+	case Load:
+		t.fetchBytes.Add(obj.FetchCost)
+		t.cacheBytes.Add(yield)
+	}
+}
+
+// RecordEvictions adds an eviction count for a policy (callers feed
+// deltas of Policy.Evictions).
+func (t *Telemetry) RecordEvictions(policy string, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.evictions.Add(policy, n)
+}
+
+// EpisodeOpened counts one episode opening in a rate profile.
+func (t *Telemetry) EpisodeOpened() {
+	if t == nil {
+		return
+	}
+	t.episodesOpened.Add(1)
+}
+
+// EpisodeClosed counts one episode closing.
+func (t *Telemetry) EpisodeClosed() {
+	if t == nil {
+		return
+	}
+	t.episodesClosed.Add(1)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"bypassyield/internal/obs"
+)
+
+// TestTelemetryMirrorsAccounting drives the same accesses through
+// Account and Telemetry.RecordAccess and checks the registry agrees
+// with the Figure-1 flows, including D_A = D_S + D_C.
+func TestTelemetryMirrorsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	tel := NewTelemetry(reg)
+	obj := Object{ID: "edr/photoobj", Site: "photo", Size: 1000, FetchCost: 1000}
+
+	var acct Accounting
+	seq := []struct {
+		yield int64
+		d     Decision
+	}{
+		{100, Bypass}, {200, Load}, {300, Hit}, {50, Bypass}, {400, Hit},
+	}
+	for _, s := range seq {
+		if err := Account(&acct, obj, s.yield, s.d); err != nil {
+			t.Fatal(err)
+		}
+		tel.RecordAccess("test-policy", obj, s.yield, s.d)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("core.bypass_bytes", ""); got != acct.BypassBytes {
+		t.Fatalf("bypass_bytes = %d, want %d", got, acct.BypassBytes)
+	}
+	if got := snap.CounterValue("core.fetch_bytes", ""); got != acct.FetchBytes {
+		t.Fatalf("fetch_bytes = %d, want %d", got, acct.FetchBytes)
+	}
+	if got := snap.CounterValue("core.cache_bytes", ""); got != acct.CacheBytes {
+		t.Fatalf("cache_bytes = %d, want %d", got, acct.CacheBytes)
+	}
+	if got := snap.CounterValue("core.yield_bytes", ""); got != acct.YieldBytes {
+		t.Fatalf("yield_bytes = %d, want %d", got, acct.YieldBytes)
+	}
+	// Conservation: D_A = D_S + D_C (uniform network).
+	da := snap.CounterValue("core.bypass_bytes", "") + snap.CounterValue("core.cache_bytes", "")
+	if da != acct.DeliveredBytes() {
+		t.Fatalf("D_A from registry = %d, accounting = %d", da, acct.DeliveredBytes())
+	}
+	// Per-verdict decision counts.
+	for verdict, want := range map[string]int64{"bypass": 2, "load": 1, "hit": 2} {
+		if got := snap.CounterValue("core.decisions", "test-policy/"+verdict); got != want {
+			t.Fatalf("decisions[%s] = %d, want %d", verdict, got, want)
+		}
+	}
+	if got := snap.CounterValue("core.accesses", ""); got != acct.Accesses {
+		t.Fatalf("accesses = %d, want %d", got, acct.Accesses)
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.RecordAccess("p", Object{}, 1, Hit)
+	tel.RecordEvictions("p", 3)
+	tel.EpisodeOpened()
+	tel.EpisodeClosed()
+	if NewTelemetry(nil) != nil {
+		t.Fatal("NewTelemetry(nil) should be nil (free no-op)")
+	}
+}
+
+// TestSimulatorTelemetry runs a tiny trace through the Simulator with
+// telemetry attached and checks decision counts reconcile with the
+// result accounting, and episode churn is published.
+func TestSimulatorTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	obj := Object{ID: "o1", Size: 100, FetchCost: 100}
+	objs := map[ObjectID]Object{"o1": obj}
+	pol := NewRateProfile(RateProfileConfig{Capacity: 1000, Episodes: EpisodeConfig{K: 2}})
+	var reqs []Request
+	for i := int64(1); i <= 20; i++ {
+		seq := i
+		if i > 10 {
+			seq = i + 10 // a gap > K forces an episode close/reopen
+		}
+		reqs = append(reqs, Request{Seq: seq, Accesses: []Access{{Object: "o1", Yield: 90}}})
+	}
+	sim := &Simulator{Policy: pol, Objects: objs, Telemetry: NewTelemetry(reg)}
+	res, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	name := pol.Name()
+	var decided int64
+	for _, v := range []string{"hit", "bypass", "load"} {
+		decided += snap.CounterValue("core.decisions", name+"/"+v)
+	}
+	if decided != res.Acct.Accesses {
+		t.Fatalf("decision counts = %d, accesses = %d", decided, res.Acct.Accesses)
+	}
+	if snap.CounterValue("core.episodes_opened", "") == 0 {
+		t.Fatal("no episodes opened")
+	}
+	if opened, closed := snap.CounterValue("core.episodes_opened", ""),
+		snap.CounterValue("core.episodes_closed", ""); closed > opened {
+		t.Fatalf("episodes closed (%d) > opened (%d)", closed, opened)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"bypassyield/internal/catalog"
+	"bypassyield/internal/obs"
 )
 
 // Config parameterizes a database instance.
@@ -40,6 +41,11 @@ type DB struct {
 	schema *catalog.Schema
 	cfg    Config
 	tables map[string]*tableData
+
+	// obs handles; nil (no-op) until SetObs is called.
+	queries     *obs.Counter
+	rowsScanned *obs.Counter
+	yieldBytes  *obs.Counter
 }
 
 // tableData is the columnar storage of one table's sample.
@@ -118,6 +124,16 @@ func colSeed(seed int64, table, col string) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s.%s", table, col)
 	return seed ^ int64(h.Sum64())
+}
+
+// SetObs attaches an observability registry: the engine publishes
+// executed statements (engine.queries), sample rows scanned
+// (engine.rows_scanned), and logical yield produced
+// (engine.yield_bytes). A nil registry detaches.
+func (db *DB) SetObs(r *obs.Registry) {
+	db.queries = r.Counter("engine.queries")
+	db.rowsScanned = r.Counter("engine.rows_scanned")
+	db.yieldBytes = r.Counter("engine.yield_bytes")
 }
 
 // Schema returns the schema the database was opened with.

@@ -40,20 +40,28 @@ func (db *DB) Execute(stmt *sqlparse.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var res *Result
 	switch len(b.Tables) {
 	case 1:
-		return db.execSingle(b)
+		res, err = db.execSingle(b)
 	case 2:
-		return db.execJoin(b)
+		res, err = db.execJoin(b)
 	default:
 		return nil, &ExecError{Msg: fmt.Sprintf("%d-table statements not supported (max 2)", len(b.Tables))}
 	}
+	if err != nil {
+		return nil, err
+	}
+	db.queries.Add(1)
+	db.yieldBytes.Add(res.Bytes)
+	return res, nil
 }
 
 // evalLocal returns the sample row indexes of one table satisfying
 // its literal and same-table predicates.
 func (db *DB) evalLocal(b *Bound, tableIdx int) ([]int32, error) {
 	td := db.tables[b.Tables[tableIdx].Name]
+	db.rowsScanned.Add(int64(td.n))
 	out := make([]int32, 0, td.n)
 scan:
 	for i := 0; i < td.n; i++ {

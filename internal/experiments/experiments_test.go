@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"bypassyield/internal/obs"
 )
 
 // suite is shared across tests: trace generation dominates runtime,
@@ -37,6 +39,26 @@ func cellFloat(t *testing.T, tab *Table, row int, col string) float64 {
 	}
 	t.Fatalf("no column %q in %v", col, tab.Columns)
 	return 0
+}
+
+func TestSuiteObsAttach(t *testing.T) {
+	s := NewSuite(30)
+	s.Obs = obs.NewRegistry()
+	if _, err := s.Run("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Obs.Snapshot()
+	if snap.CounterTotal("core.decisions") == 0 {
+		t.Fatal("suite with Obs attached recorded no decisions")
+	}
+	// Conservation across everything the suite simulated: delivered
+	// bytes arrive either by bypass or out of the cache.
+	ds := snap.CounterValue("core.bypass_bytes", "")
+	dc := snap.CounterValue("core.cache_bytes", "")
+	dy := snap.CounterValue("core.yield_bytes", "")
+	if ds+dc != dy {
+		t.Fatalf("D_A violated across suite: %d + %d != %d", ds, dc, dy)
+	}
 }
 
 func TestRunUnknown(t *testing.T) {

@@ -92,7 +92,7 @@ func (s *Suite) XScale() (*Table, error) {
 			{"ob", core.NewOnlineBY(core.NewLandlord(capacity))},
 			{"gds", core.NewGDS(capacity)},
 		} {
-			res, err := simulate(ps.p, reqs, objs, 0)
+			res, err := s.simulate(ps.p, reqs, objs, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +171,7 @@ func (s *Suite) XView() (*Table, error) {
 			}
 			capacity := dbBytes * int64(pct) / 100
 			p := core.NewRateProfile(core.RateProfileConfig{Capacity: capacity, Episodes: episodes})
-			res, err := simulate(p, reqs, objs, 0)
+			res, err := s.simulate(p, reqs, objs, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -255,7 +255,7 @@ func (s *Suite) XSem() (*Table, error) {
 				}
 			}
 		}
-		res, err := simulate(core.NewRateProfile(core.RateProfileConfig{
+		res, err := s.simulate(core.NewRateProfile(core.RateProfileConfig{
 			Capacity: capacity, Episodes: core.EpisodeConfig{K: 60},
 		}), reqs, objs, 0)
 		if err != nil {
@@ -401,7 +401,7 @@ func (s *Suite) XNet() (*Table, error) {
 		{"no-cache", core.NewNoCache()},
 	}
 	for _, m := range mk {
-		res, err := simulate(m.p, reqs, objs, 0)
+		res, err := s.simulate(m.p, reqs, objs, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -468,13 +468,13 @@ func (s *Suite) XComp() (*Table, error) {
 				reqs = append(reqs, core.Request{Seq: q, Accesses: []core.Access{{Object: o.ID, Yield: y}}})
 			}
 			capacity := int64(200 << 10)
-			staticRes, err := simulate(core.PlanStatic(capacity, reqs, objs), reqs, objs, 0)
+			staticRes, err := s.simulate(core.PlanStatic(capacity, reqs, objs), reqs, objs, 0)
 			if err != nil {
 				return nil, err
 			}
 			// The offline stand-in is the better of the static plan
 			// and the clairvoyant lookahead heuristic.
-			lookRes, err := simulate(core.NewLookahead(capacity, reqs, 0), reqs, objs, 0)
+			lookRes, err := s.simulate(core.NewLookahead(capacity, reqs, 0), reqs, objs, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -486,7 +486,7 @@ func (s *Suite) XComp() (*Table, error) {
 				continue
 			}
 			for _, p := range mkPolicies(capacity) {
-				res, err := simulate(p, reqs, objs, 0)
+				res, err := s.simulate(p, reqs, objs, 0)
 				if err != nil {
 					return nil, err
 				}

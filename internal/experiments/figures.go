@@ -151,7 +151,7 @@ func (s *Suite) curves(id, title, release string, g federation.Granularity) (*Ta
 	curvesByName := map[string][]int64{}
 	order := make([]string, 0, len(sets))
 	for _, ps := range sets {
-		res, err := simulate(ps.mk(capacity, reqs, objs), reqs, objs, stride)
+		res, err := s.simulate(ps.mk(capacity, reqs, objs), reqs, objs, stride)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +221,7 @@ func (s *Suite) sweep(id, title string, g federation.Granularity) (*Table, error
 		capacity := dbBytes * int64(pct) / 100
 		row := []string{fmt.Sprintf("%d", pct)}
 		for _, ps := range sets {
-			res, err := simulate(ps.mk(capacity, reqs, objs), reqs, objs, 0)
+			res, err := s.simulate(ps.mk(capacity, reqs, objs), reqs, objs, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -264,7 +264,7 @@ func (s *Suite) breakdown(id, title string, g federation.Granularity) (*Table, e
 		}
 		capacity := int64(s.CachePct * float64(dbBytes))
 		for _, ps := range bypassYieldPolicies() {
-			res, err := simulate(ps.mk(capacity, reqs, objs), reqs, objs, 0)
+			res, err := s.simulate(ps.mk(capacity, reqs, objs), reqs, objs, 0)
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 
 	"bypassyield/internal/core"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/trace"
 	"bypassyield/internal/workload"
 )
@@ -25,6 +26,10 @@ type Suite struct {
 	// cache-size sweep establishes (Figures 9–10 regenerate that
 	// sweep).
 	CachePct float64
+	// Obs, when set, collects per-policy decision and byte-flow
+	// counters from every simulation the suite runs. Nil (the
+	// default) keeps simulation unobserved and allocation-free.
+	Obs *obs.Registry
 
 	traces map[string][]core.Request
 	raw    map[string][]trace.Record
@@ -180,8 +185,12 @@ func comparatorPolicies() []policySet {
 	}
 }
 
-// simulate runs one policy over a trace.
-func simulate(p core.Policy, reqs []core.Request, objs map[core.ObjectID]core.Object, stride int64) (*core.Result, error) {
-	sim := &core.Simulator{Policy: p, Objects: objs, CurveStride: stride}
+// simulate runs one policy over a trace, recording into the suite's
+// registry when one is attached.
+func (s *Suite) simulate(p core.Policy, reqs []core.Request, objs map[core.ObjectID]core.Object, stride int64) (*core.Result, error) {
+	sim := &core.Simulator{
+		Policy: p, Objects: objs, CurveStride: stride,
+		Telemetry: core.NewTelemetry(s.Obs),
+	}
 	return sim.Run(reqs)
 }

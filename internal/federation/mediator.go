@@ -2,11 +2,13 @@ package federation
 
 import (
 	"fmt"
+	"time"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/netcost"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/sqlparse"
 )
 
@@ -24,6 +26,12 @@ type Config struct {
 	Granularity Granularity
 	// Net is the WAN cost model; nil means uniform.
 	Net *netcost.Model
+	// Obs, when non-nil, receives the mediator's telemetry: per-query
+	// mediation latency (federation.query_latency_us), objects touched
+	// (federation.objects_touched), and the core decision/byte-flow
+	// families (see core.NewTelemetry). The registry is shared — the
+	// proxy serves it over MsgMetrics.
+	Obs *obs.Registry
 }
 
 // Mediator is the federation entry point the paper collocates with
@@ -35,6 +43,13 @@ type Mediator struct {
 	objects map[core.ObjectID]core.Object
 	acct    core.Accounting
 	t       int64
+
+	// Telemetry (no-ops when cfg.Obs is nil).
+	tel           *core.Telemetry
+	queryLatency  *obs.Histogram
+	objsTouched   *obs.Counter
+	queriesMet    *obs.Counter
+	lastEvictions int64
 }
 
 // AccessDecision records the cache's handling of one object access
@@ -74,11 +89,23 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.Net == nil {
 		cfg.Net = netcost.Uniform()
 	}
-	return &Mediator{
-		cfg:     cfg,
-		objects: Objects(cfg.Schema, cfg.Granularity, cfg.Net),
-	}, nil
+	m := &Mediator{
+		cfg:          cfg,
+		objects:      Objects(cfg.Schema, cfg.Granularity, cfg.Net),
+		tel:          core.NewTelemetry(cfg.Obs),
+		queryLatency: cfg.Obs.Histogram("federation.query_latency_us", obs.DefaultLatencyBuckets()),
+		objsTouched:  cfg.Obs.Counter("federation.objects_touched"),
+		queriesMet:   cfg.Obs.Counter("federation.queries"),
+	}
+	if ts, ok := cfg.Policy.(core.TelemetrySetter); ok && cfg.Obs != nil {
+		ts.SetTelemetry(m.tel)
+	}
+	return m, nil
 }
+
+// Obs returns the registry the mediator publishes into (nil when
+// observability is not configured).
+func (m *Mediator) Obs() *obs.Registry { return m.cfg.Obs }
 
 // Objects returns the cacheable-object universe.
 func (m *Mediator) Objects() map[core.ObjectID]core.Object { return m.objects }
@@ -110,6 +137,7 @@ func (m *Mediator) Query(sql string) (*QueryReport, error) {
 
 // QueryStmt is Query over a pre-parsed statement.
 func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryReport, error) {
+	start := time.Now()
 	b, err := engine.Bind(m.cfg.Schema, stmt)
 	if err != nil {
 		return nil, err
@@ -120,7 +148,12 @@ func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryRepor
 	}
 	m.t++
 	m.acct.Queries++
+	m.queriesMet.Add(1)
 	rep := &QueryReport{SQL: sql, Seq: m.t, Result: res}
+	policyName := "none"
+	if m.cfg.Policy != nil {
+		policyName = m.cfg.Policy.Name()
+	}
 	for _, acc := range Decompose(b, m.cfg.Schema.Name, res.Bytes, m.cfg.Granularity) {
 		obj, ok := m.objects[acc.Object]
 		if !ok {
@@ -133,6 +166,8 @@ func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryRepor
 		if err := core.Account(&m.acct, obj, acc.Yield, d); err != nil {
 			return nil, err
 		}
+		m.tel.RecordAccess(policyName, obj, acc.Yield, d)
+		m.objsTouched.Add(1)
 		rep.Decisions = append(rep.Decisions, AccessDecision{
 			Object:   acc.Object,
 			Site:     obj.Site,
@@ -140,6 +175,13 @@ func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryRepor
 			Decision: d,
 		})
 	}
+	if m.cfg.Policy != nil {
+		if ev := m.cfg.Policy.Evictions(); ev > m.lastEvictions {
+			m.tel.RecordEvictions(policyName, ev-m.lastEvictions)
+			m.lastEvictions = ev
+		}
+	}
+	m.queryLatency.Observe(time.Since(start).Microseconds())
 	return rep, nil
 }
 

@@ -1,0 +1,92 @@
+package obs
+
+import "testing"
+
+// The registry sits on every hot path of the federation — per-frame,
+// per-access, per-row-scan — so increments and observations must not
+// allocate. TestHotPathAllocFree asserts it; the benchmarks measure
+// it (`go test -bench . -benchmem ./internal/obs/`).
+
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefaultLatencyBuckets())
+	cf := r.CounterFamily("cf")
+	hf := r.HistogramFamily("hf", DefaultSizeBuckets())
+	cf.Add("site", 1) // materialize the labels once
+	hf.Observe("site", 1)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Gauge.Set", func() { g.Set(42) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"CounterFamily.Add", func() { cf.Add("site", 1) }},
+		{"HistogramFamily.Observe", func() { hf.Observe("site", 77) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", DefaultLatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkCounterFamilyGet(b *testing.B) {
+	f := NewRegistry().CounterFamily("f")
+	f.Add("photo.sdss.org", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add("photo.sdss.org", 1)
+	}
+}
+
+func BenchmarkHistogramFamilyObserve(b *testing.B) {
+	f := NewRegistry().HistogramFamily("f", DefaultLatencyBuckets())
+	f.Observe("photo.sdss.org", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Observe("photo.sdss.org", int64(i))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.Counter(n).Inc()
+		r.Histogram(n+".h", DefaultLatencyBuckets()).Observe(1)
+		r.CounterFamily(n + ".f").Add("l1", 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Snapshot()
+	}
+}

@@ -1,0 +1,357 @@
+// Package obs is the federation's observability substrate: a
+// dependency-free, concurrency-safe metrics registry plus a
+// lightweight span/event tracer with pluggable sinks.
+//
+// The paper's whole argument is quantitative — every policy decision
+// is justified by the byte flows D_S, D_L, D_C, D_A — so the running
+// system carries the same discipline into operations: every layer
+// (wire, core, engine, federation) registers counters, gauges, and
+// fixed-bucket histograms here, and the proxy serves the registry's
+// Snapshot over the wire protocol (MsgMetrics) for byinspect to
+// render.
+//
+// Design constraints:
+//
+//   - Hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe,
+//     Family.Get on an existing label) are lock-free or read-locked
+//     and allocation-free; see bench_test.go, which asserts zero
+//     allocations.
+//   - Every handle type is nil-safe: methods on a nil *Counter,
+//     *Gauge, *Histogram, or *Registry are no-ops. Instrumented code
+//     therefore holds plain handles and never branches on "is
+//     telemetry enabled".
+//   - Snapshot returns plain JSON-serializable values ordered
+//     deterministically by (name, label), so snapshots diff cleanly
+//     and travel over the wire unchanged.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations
+// (latencies in microseconds, sizes in bytes, ...). Bucket i counts
+// observations ≤ Bounds[i]; one implicit overflow bucket counts the
+// rest. Observation is a linear scan over the (small, fixed) bound
+// slice — allocation-free and cheap for the ≤ 32 buckets used here.
+type Histogram struct {
+	bounds []int64 // sorted upper bounds; immutable after construction
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// newHistogram builds a histogram over sorted upper bounds.
+func newHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snap captures the histogram under no lock; counts are individually
+// atomic, so a snapshot taken during concurrent observation is a
+// consistent-enough view (sum/count may lead the buckets by the
+// in-flight observations).
+func (h *Histogram) snap(name, label string) HistogramSnap {
+	s := HistogramSnap{
+		Name:   name,
+		Label:  label,
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting
+// at first and multiplying by factor: first, first·factor, ....
+func ExpBuckets(first int64, factor float64, n int) []int64 {
+	if first < 1 {
+		first = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	out := make([]int64, 0, n)
+	v := float64(first)
+	for i := 0; i < n; i++ {
+		out = append(out, int64(v))
+		v *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 50µs to ~26s in ×2 steps — RPC and
+// query latencies in microseconds.
+func DefaultLatencyBuckets() []int64 { return ExpBuckets(50, 2, 20) }
+
+// DefaultSizeBuckets spans 1KiB to ~1TiB in ×4 steps — yields, frame
+// sizes, object sizes in bytes.
+func DefaultSizeBuckets() []int64 { return ExpBuckets(1024, 4, 16) }
+
+// CounterFamily is a set of counters sharing one name, keyed by a
+// label value ("per-site", "per-decision", ...).
+type CounterFamily struct {
+	mu    sync.RWMutex
+	items map[string]*Counter
+}
+
+// Get returns the counter for a label, creating it on first use.
+// Lookups of existing labels take only a read lock and do not
+// allocate. Returns nil on a nil family.
+func (f *CounterFamily) Get(label string) *Counter {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	c := f.items[label]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.items[label]; c == nil {
+		c = &Counter{}
+		f.items[label] = c
+	}
+	return c
+}
+
+// Add increments the labeled counter by n.
+func (f *CounterFamily) Add(label string, n int64) { f.Get(label).Add(n) }
+
+// HistogramFamily is a set of histograms sharing one name and bucket
+// layout, keyed by a label value.
+type HistogramFamily struct {
+	mu     sync.RWMutex
+	bounds []int64
+	items  map[string]*Histogram
+}
+
+// Get returns the histogram for a label, creating it on first use.
+// Returns nil on a nil family.
+func (f *HistogramFamily) Get(label string) *Histogram {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	h := f.items[label]
+	f.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h = f.items[label]; h == nil {
+		h = newHistogram(f.bounds)
+		f.items[label] = h
+	}
+	return h
+}
+
+// Observe records an observation under a label.
+func (f *HistogramFamily) Observe(label string, v int64) { f.Get(label).Observe(v) }
+
+// Registry holds named metrics. All accessors are get-or-create and
+// safe for concurrent use; handles are stable, so callers cache them
+// once and hit only the atomic on the hot path. A nil *Registry is a
+// valid no-op registry: every accessor returns a nil handle, whose
+// methods are in turn no-ops.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	cfamilies map[string]*CounterFamily
+	hfamilies map[string]*HistogramFamily
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		cfamilies: make(map[string]*CounterFamily),
+		hfamilies: make(map[string]*HistogramFamily),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (nil bounds select DefaultLatencyBuckets). The
+// first creation fixes the bucket layout.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFamily returns the named counter family, creating it on
+// first use.
+func (r *Registry) CounterFamily(name string) *CounterFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.cfamilies[name]
+	if f == nil {
+		f = &CounterFamily{items: make(map[string]*Counter)}
+		r.cfamilies[name] = f
+	}
+	return f
+}
+
+// HistogramFamily returns the named histogram family, creating it
+// with the given bounds on first use (nil bounds select
+// DefaultLatencyBuckets).
+func (r *Registry) HistogramFamily(name string, bounds []int64) *HistogramFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.hfamilies[name]
+	if f == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		f = &HistogramFamily{bounds: b, items: make(map[string]*Histogram)}
+		r.hfamilies[name] = f
+	}
+	return f
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Snapshot is a point-in-time, JSON-serializable view of a registry.
+// Entries are sorted by (name, label), so two snapshots of the same
+// registry diff cleanly and render deterministically.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// CounterSnap is one counter's value. Family members carry their
+// label; plain counters have an empty label.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's value.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram's buckets. Counts has one entry per
+// bound plus a final overflow bucket.
+type HistogramSnap struct {
+	Name   string  `json:"name"`
+	Label  string  `json:"label,omitempty"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (h HistogramSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]): the bound of the bucket containing the q·Count-th
+// observation. Observations in the overflow bucket report the last
+// bound (the histogram cannot see beyond it).
+func (h HistogramSnap) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot captures every metric in the registry. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	cfams := make(map[string]*CounterFamily, len(r.cfamilies))
+	for k, v := range r.cfamilies {
+		cfams[k] = v
+	}
+	hfams := make(map[string]*HistogramFamily, len(r.hfamilies))
+	for k, v := range r.hfamilies {
+		hfams[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, f := range cfams {
+		f.mu.RLock()
+		for label, c := range f.items {
+			s.Counters = append(s.Counters, CounterSnap{Name: name, Label: label, Value: c.Value()})
+		}
+		f.mu.RUnlock()
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		s.Histograms = append(s.Histograms, h.snap(name, ""))
+	}
+	for name, f := range hfams {
+		f.mu.RLock()
+		for label, h := range f.items {
+			s.Histograms = append(s.Histograms, h.snap(name, label))
+		}
+		f.mu.RUnlock()
+	}
+
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].Label < s.Counters[j].Label
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return s.Gauges[i].Label < s.Gauges[j].Label
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return s.Histograms[i].Label < s.Histograms[j].Label
+	})
+	return s
+}
+
+// CounterValue looks up a counter (or family member) by name and
+// label; missing entries return 0.
+func (s Snapshot) CounterValue(name, label string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.Label == label {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// CounterTotal sums all labels of a counter name (for families).
+func (s Snapshot) CounterTotal(name string) int64 {
+	var total int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// GaugeValue looks up a gauge by name; missing entries return 0.
+func (s Snapshot) GaugeValue(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Label == "" {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// HistogramSnap looks up a histogram by name and label.
+func (s Snapshot) HistogramSnap(name, label string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name && h.Label == label {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}

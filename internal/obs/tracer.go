@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one telemetry event: a point event or a completed span
+// (Duration > 0). Attrs are flat key/value pairs.
+type Event struct {
+	Time     time.Time     `json:"time"`
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr is one event attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A creates an attribute (shorthand for literals at call sites).
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer emits events and spans to a sink. A nil *Tracer (or a
+// tracer over a nil sink) is a valid no-op tracer.
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer wraps a sink. A nil sink yields a no-op tracer.
+func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
+
+// Enabled reports whether events reach a sink (lets callers skip
+// expensive attribute construction).
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Event emits a point event.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Time: time.Now(), Name: name, Attrs: attrs})
+}
+
+// Start opens a span; End emits it with the measured duration.
+func (t *Tracer) Start(name string, attrs ...Attr) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	return Span{t: t, name: name, attrs: attrs, t0: time.Now()}
+}
+
+// Span is an in-flight operation opened by Tracer.Start.
+type Span struct {
+	t     *Tracer
+	name  string
+	attrs []Attr
+	t0    time.Time
+}
+
+// End emits the span event. Safe on the zero Span.
+func (s Span) End(extra ...Attr) {
+	if s.t == nil {
+		return
+	}
+	attrs := s.attrs
+	if len(extra) > 0 {
+		attrs = append(append([]Attr{}, s.attrs...), extra...)
+	}
+	s.t.sink.Emit(Event{
+		Time:     s.t0,
+		Name:     s.name,
+		Duration: time.Since(s.t0),
+		Attrs:    attrs,
+	})
+}
+
+// Ring is an in-memory ring buffer sink for tests and diagnostics:
+// it retains the last N events.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+}
+
+// NewRing returns a ring retaining the last n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{events: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.events[r.next] = e
+	r.next = (r.next + 1) % len(r.events)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// JSONL is a sink writing one JSON object per event line, for
+// offline analysis of daemon runs (byproxyd -trace-out).
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL wraps a writer.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+
+// Emit implements Sink. Encoding errors are dropped: telemetry must
+// never fail the instrumented operation.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	j.enc.Encode(e) //nolint:errcheck
+	j.mu.Unlock()
+}

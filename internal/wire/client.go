@@ -46,33 +46,49 @@ func (c *Client) Query(sql string) (*ResultMsg, error) {
 		}
 		return nil, fmt.Errorf("wire: server: %s", e.Message)
 	default:
-		return nil, fmt.Errorf("wire: unexpected response type %d", t)
+		return nil, fmt.Errorf("wire: unexpected response type %s", t)
+	}
+}
+
+// roundTrip sends one request frame and decodes the expected
+// response type into dst, unwrapping server errors.
+func (c *Client) roundTrip(req MsgType, payload any, want MsgType, dst any) error {
+	if _, err := WriteFrame(c.conn, req, payload); err != nil {
+		return err
+	}
+	t, body, _, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	switch t {
+	case want:
+		return Decode(body, dst)
+	case MsgError:
+		var e ErrorMsg
+		if err := Decode(body, &e); err != nil {
+			return err
+		}
+		return fmt.Errorf("wire: server: %s", e.Message)
+	default:
+		return fmt.Errorf("wire: unexpected response type %s", t)
 	}
 }
 
 // Stats fetches the proxy's accounting snapshot.
 func (c *Client) Stats() (*StatsResultMsg, error) {
-	if _, err := WriteFrame(c.conn, MsgStats, StatsMsg{}); err != nil {
+	var res StatsResultMsg
+	if err := c.roundTrip(MsgStats, StatsMsg{}, MsgStatsResult, &res); err != nil {
 		return nil, err
 	}
-	t, body, _, err := ReadFrame(c.conn)
-	if err != nil {
+	return &res, nil
+}
+
+// Metrics fetches a daemon's observability snapshot (proxies and
+// database nodes both answer).
+func (c *Client) Metrics() (*MetricsResultMsg, error) {
+	var res MetricsResultMsg
+	if err := c.roundTrip(MsgMetrics, MetricsMsg{}, MsgMetricsResult, &res); err != nil {
 		return nil, err
 	}
-	switch t {
-	case MsgStatsResult:
-		var res StatsResultMsg
-		if err := Decode(body, &res); err != nil {
-			return nil, err
-		}
-		return &res, nil
-	case MsgError:
-		var e ErrorMsg
-		if err := Decode(body, &e); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("wire: server: %s", e.Message)
-	default:
-		return nil, fmt.Errorf("wire: unexpected response type %d", t)
-	}
+	return &res, nil
 }

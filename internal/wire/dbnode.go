@@ -10,11 +10,18 @@ import (
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/engine"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/sqlparse"
 )
 
 // DBNode is a federation member database: it owns the tables of one
 // site and answers sub-queries and object fetches over TCP.
+//
+// Each node carries its own obs registry (served over MsgMetrics):
+// dbnode.queries / dbnode.fetches / dbnode.errors counters,
+// dbnode.tx_bytes / dbnode.rx_bytes transport totals, and — because
+// the registry is shared with the node's engine — the
+// engine.rows_scanned / engine.yield_bytes counters.
 type DBNode struct {
 	// Site names the site this node serves; queries for tables owned
 	// by other sites are rejected.
@@ -26,13 +33,36 @@ type DBNode struct {
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
+
+	reg     *obs.Registry
+	queries *obs.Counter
+	fetches *obs.Counter
+	errs    *obs.Counter
+	txBytes *obs.Counter
+	rxBytes *obs.Counter
 }
 
 // NewDBNode builds a node serving the given site of a release. The
-// engine holds the full release; ownership is enforced per query.
+// engine holds the full release; ownership is enforced per query. The
+// node creates its own obs registry and attaches the engine to it.
 func NewDBNode(site string, db *engine.DB) *DBNode {
-	return &DBNode{Site: site, db: db, logf: log.Printf}
+	reg := obs.NewRegistry()
+	db.SetObs(reg)
+	return &DBNode{
+		Site:    site,
+		db:      db,
+		logf:    log.Printf,
+		reg:     reg,
+		queries: reg.Counter("dbnode.queries"),
+		fetches: reg.Counter("dbnode.fetches"),
+		errs:    reg.Counter("dbnode.errors"),
+		txBytes: reg.Counter("dbnode.tx_bytes"),
+		rxBytes: reg.Counter("dbnode.rx_bytes"),
+	}
 }
+
+// Obs returns the node's registry.
+func (n *DBNode) Obs() *obs.Registry { return n.reg }
 
 // SetLogf replaces the node's logger (tests silence it).
 func (n *DBNode) SetLogf(f func(string, ...any)) { n.logf = f }
@@ -87,39 +117,62 @@ func (n *DBNode) acceptLoop() {
 
 func (n *DBNode) serveConn(conn net.Conn) {
 	for {
-		t, body, _, err := ReadFrame(conn)
+		t, body, rn, err := ReadFrame(conn)
 		if err != nil {
 			return // peer closed or protocol failure; drop the conn
 		}
+		n.rxBytes.Add(int64(rn))
 		switch t {
 		case MsgQuery:
 			var q QueryMsg
 			if err := Decode(body, &q); err != nil {
-				writeErr(conn, err)
+				n.sendErr(conn, err)
 				continue
 			}
 			res, err := n.execute(q.SQL)
 			if err != nil {
-				writeErr(conn, err)
+				n.sendErr(conn, err)
 				continue
 			}
-			WriteFrame(conn, MsgResult, res)
+			n.queries.Add(1)
+			n.send(conn, MsgResult, res)
 		case MsgFetch:
 			var f FetchMsg
 			if err := Decode(body, &f); err != nil {
-				writeErr(conn, err)
+				n.sendErr(conn, err)
 				continue
 			}
 			size, err := n.objectSize(f.Object)
 			if err != nil {
-				writeErr(conn, err)
+				n.sendErr(conn, err)
 				continue
 			}
-			WriteFrame(conn, MsgFetchAck, FetchAckMsg{Object: f.Object, Size: size})
+			n.fetches.Add(1)
+			n.send(conn, MsgFetchAck, FetchAckMsg{Object: f.Object, Size: size})
+		case MsgMetrics:
+			n.send(conn, MsgMetricsResult, MetricsResultMsg{
+				Source:   "bydbd:" + n.Site,
+				Snapshot: n.reg.Snapshot(),
+			})
 		default:
-			writeErr(conn, fmt.Errorf("dbnode: unexpected message type %d", t))
+			n.sendErr(conn, fmt.Errorf("dbnode: unexpected message type %s", t))
 		}
 	}
+}
+
+// send writes one frame, counting transport bytes.
+func (n *DBNode) send(conn net.Conn, t MsgType, payload any) {
+	wn, err := WriteFrame(conn, t, payload)
+	if err != nil {
+		return
+	}
+	n.txBytes.Add(int64(wn))
+}
+
+// sendErr writes an error frame, counting it.
+func (n *DBNode) sendErr(conn net.Conn, err error) {
+	n.errs.Add(1)
+	n.send(conn, MsgError, ErrorMsg{Message: err.Error()})
 }
 
 // execute runs a sub-query after checking that every referenced table
@@ -191,10 +244,6 @@ func (n *DBNode) objectSize(object string) (int64, error) {
 		return 0, fmt.Errorf("dbnode: unknown column in object %s", object)
 	}
 	return c.Width() * t.Rows, nil
-}
-
-func writeErr(conn net.Conn, err error) {
-	WriteFrame(conn, MsgError, ErrorMsg{Message: err.Error()})
 }
 
 // SiteOf returns the owning site of a schema table, for wiring

@@ -37,7 +37,38 @@ const (
 	MsgStats MsgType = 6
 	// MsgStatsResult returns the proxy accounting.
 	MsgStatsResult MsgType = 7
+	// MsgMetrics asks a daemon (proxy or database node) for its full
+	// observability snapshot.
+	MsgMetrics MsgType = 8
+	// MsgMetricsResult returns the snapshot.
+	MsgMetricsResult MsgType = 9
 )
+
+// String names a message type for metric labels and diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgQuery:
+		return "query"
+	case MsgResult:
+		return "result"
+	case MsgError:
+		return "error"
+	case MsgFetch:
+		return "fetch"
+	case MsgFetchAck:
+		return "fetch_ack"
+	case MsgStats:
+		return "stats"
+	case MsgStatsResult:
+		return "stats_result"
+	case MsgMetrics:
+		return "metrics"
+	case MsgMetricsResult:
+		return "metrics_result"
+	default:
+		return "unknown"
+	}
+}
 
 // MaxFrame bounds accepted payloads (defense against corrupt length
 // prefixes).

@@ -1,6 +1,9 @@
 package wire
 
-import "bypassyield/internal/core"
+import (
+	"bypassyield/internal/core"
+	"bypassyield/internal/obs"
+)
 
 // QueryMsg carries a SQL statement.
 type QueryMsg struct {
@@ -50,6 +53,20 @@ type FetchAckMsg struct {
 
 // StatsMsg requests proxy statistics (empty payload).
 type StatsMsg struct{}
+
+// MetricsMsg requests a daemon's observability snapshot (empty
+// payload).
+type MetricsMsg struct{}
+
+// MetricsResultMsg returns a daemon's metrics: every counter, gauge,
+// and histogram its registry holds, deterministically ordered.
+type MetricsResultMsg struct {
+	// Source identifies the answering daemon ("byproxyd" or
+	// "bydbd:<site>").
+	Source string `json:"source"`
+	// Snapshot is the registry contents.
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
 
 // StatsResultMsg returns the proxy's state: the paper's flow
 // accounting plus physical transport counters for the prototype's own

@@ -1,0 +1,310 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
+)
+
+// TestEndToEndMetricsReconcile is the acceptance test of the obs
+// subsystem: after a mixed workload against a live federation, the
+// MsgMetrics snapshot must carry per-site RPC latency histograms and
+// per-policy decision counts, and the core byte counters must
+// reconcile with the mediator's Figure-1 accounting — in particular
+// the conservation law D_A = D_S + D_C.
+func TestEndToEndMetricsReconcile(t *testing.T) {
+	cap := catalog.EDR().TotalBytes()
+	client, shutdown := testFederation(t,
+		core.NewRateProfile(core.RateProfileConfig{Capacity: cap}), federation.Columns)
+	defer shutdown()
+
+	// Enough repeats of a fat query to drive bypass → load → hit.
+	for i := 0; i < 8; i++ {
+		if _, err := client.Query("select ra, dec from photoobj where ra between 0 and 350"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Query("select z from specobj where z < 3"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Source != "byproxyd" {
+		t.Fatalf("source = %q", m.Source)
+	}
+	snap := m.Snapshot
+
+	// Per-site node RPC latency histograms.
+	for _, site := range []string{catalog.SitePhoto, catalog.SiteSpec} {
+		h, ok := snap.HistogramSnap("wire.rpc_latency_us", site)
+		if !ok || h.Count == 0 {
+			t.Fatalf("no RPC latency histogram for site %s (ok=%v)", site, ok)
+		}
+	}
+
+	// Per-policy decision counts must equal the accounting's.
+	acct := st.Acct
+	for verdict, want := range map[string]int64{
+		"hit": acct.Hits, "bypass": acct.Bypasses, "load": acct.Loads,
+	} {
+		if got := snap.CounterValue("core.decisions", "rate-profile/"+verdict); got != want {
+			t.Fatalf("decisions[%s] = %d, accounting says %d", verdict, got, want)
+		}
+	}
+
+	// Figure-1 byte flows, including D_A = D_S + D_C.
+	ds := snap.CounterValue("core.bypass_bytes", "")
+	dl := snap.CounterValue("core.fetch_bytes", "")
+	dc := snap.CounterValue("core.cache_bytes", "")
+	if ds != acct.BypassBytes || dl != acct.FetchBytes || dc != acct.CacheBytes {
+		t.Fatalf("flows (D_S,D_L,D_C) = (%d,%d,%d), accounting = (%d,%d,%d)",
+			ds, dl, dc, acct.BypassBytes, acct.FetchBytes, acct.CacheBytes)
+	}
+	if ds+dc != acct.DeliveredBytes() {
+		t.Fatalf("D_A violated: %d + %d != %d", ds, dc, acct.DeliveredBytes())
+	}
+	if got := snap.CounterValue("core.yield_bytes", ""); got != acct.YieldBytes {
+		t.Fatalf("yield_bytes = %d, want %d", got, acct.YieldBytes)
+	}
+
+	// Federation layer: query counts and mediation latency.
+	if got := snap.CounterValue("federation.queries", ""); got != st.Queries {
+		t.Fatalf("federation.queries = %d, want %d", got, st.Queries)
+	}
+	if h, ok := snap.HistogramSnap("federation.query_latency_us", ""); !ok || h.Count != st.Queries {
+		t.Fatalf("query latency count = %+v, want %d observations", h, st.Queries)
+	}
+	if got := snap.CounterValue("federation.objects_touched", ""); got != acct.Accesses {
+		t.Fatalf("objects_touched = %d, want %d accesses", got, acct.Accesses)
+	}
+
+	// Wire layer: the transport counters in stats come from the same
+	// registry, and client frames were counted per message type.
+	if snap.CounterValue("wire.node_tx_bytes", "") != st.TransportTx {
+		t.Fatal("stats TransportTx diverges from registry")
+	}
+	if got := snap.CounterValue("wire.frames_rx", "query"); got != st.Queries {
+		t.Fatalf("frames_rx[query] = %d, want %d", got, st.Queries)
+	}
+	if snap.CounterValue("wire.client_conns_opened", "") == 0 {
+		t.Fatal("client connection churn not counted")
+	}
+}
+
+// TestDBNodeMetrics asserts a database node answers MsgMetrics with
+// its own registry, including the engine's scan counters.
+func TestDBNodeMetrics(t *testing.T) {
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewDBNode(catalog.SiteSpec, db)
+	n.SetLogf(func(string, ...any) {})
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("select z from specobj where z < 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("select ra from photoobj where ra < 10"); err == nil {
+		t.Fatal("foreign table should error")
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Source != "bydbd:"+catalog.SiteSpec {
+		t.Fatalf("source = %q", m.Source)
+	}
+	snap := m.Snapshot
+	if snap.CounterValue("dbnode.queries", "") != 1 {
+		t.Fatalf("dbnode.queries = %d, want 1", snap.CounterValue("dbnode.queries", ""))
+	}
+	if snap.CounterValue("dbnode.errors", "") != 1 {
+		t.Fatalf("dbnode.errors = %d, want 1", snap.CounterValue("dbnode.errors", ""))
+	}
+	if snap.CounterValue("engine.rows_scanned", "") == 0 {
+		t.Fatal("engine scan counters not shared with the node registry")
+	}
+	if snap.CounterValue("dbnode.tx_bytes", "") == 0 || snap.CounterValue("dbnode.rx_bytes", "") == 0 {
+		t.Fatal("transport byte counters empty")
+	}
+}
+
+// TestProxyRPCTimeout starts a "node" that accepts connections and
+// never answers: the proxy's RPC deadline must fire, the query must
+// still succeed (the RPC loss is logged, not fatal), and the timeout
+// must be counted.
+func TestProxyRPCTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never respond
+		}
+	}()
+
+	p, c, done := newSimProxy(t, map[string]string{catalog.SitePhoto: ln.Addr().String()})
+	defer done()
+	p.SetRPCTimeout(100 * time.Millisecond)
+
+	start := time.Now()
+	res, err := c.Query("select ra from photoobj where ra < 100") // bypass → subquery RPC
+	if err != nil {
+		t.Fatalf("query should survive a hung node: %v", err)
+	}
+	if res.Rows <= 0 {
+		t.Fatal("no rows")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("query blocked %v on a hung node", elapsed)
+	}
+	snap := p.Obs().Snapshot()
+	if snap.CounterValue("wire.rpc_timeouts", catalog.SitePhoto) == 0 {
+		t.Fatalf("timeout not counted: %+v", snap.Counters)
+	}
+	if snap.CounterValue("wire.rpc_retries", catalog.SitePhoto) != 0 {
+		t.Fatal("a timed-out RPC must not be retried")
+	}
+}
+
+// TestProxyReconnectRetry serves a node whose first connection dies
+// after one request: the proxy must retry once over a fresh
+// connection and succeed.
+func TestProxyReconnectRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var nconns int
+	var mu sync.Mutex
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			nconns++
+			first := nconns == 1
+			mu.Unlock()
+			go func(conn net.Conn, first bool) {
+				defer conn.Close()
+				served := 0
+				for {
+					_, _, _, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if first && served >= 1 {
+						return // kill the cached connection mid-RPC
+					}
+					WriteFrame(conn, MsgResult, &ResultMsg{})
+					served++
+				}
+			}(conn, first)
+		}
+	}()
+
+	p, _, done := newSimProxy(t, map[string]string{catalog.SitePhoto: ln.Addr().String()})
+	defer done()
+	p.SetRPCTimeout(2 * time.Second)
+
+	// RPC 1 dials and succeeds, leaving the connection cached. The
+	// fake node then kills conn 1 on its next request, so RPC 2 fails
+	// the read on a cached connection, retries over a fresh dial, and
+	// succeeds.
+	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto); err != nil {
+		t.Fatalf("first ship failed: %v", err)
+	}
+	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto); err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	snap := p.Obs().Snapshot()
+	if snap.CounterValue("wire.rpc_retries", catalog.SitePhoto) != 1 {
+		t.Fatalf("retries = %d, want 1", snap.CounterValue("wire.rpc_retries", catalog.SitePhoto))
+	}
+	if snap.CounterValue("wire.node_dials", catalog.SitePhoto) != 2 {
+		t.Fatalf("dials = %d, want 2", snap.CounterValue("wire.node_dials", catalog.SitePhoto))
+	}
+	// The recovered connection stays cached: another RPC, no new dial.
+	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Obs().Snapshot().CounterValue("wire.node_dials", catalog.SitePhoto); got != 2 {
+		t.Fatalf("dials after steady RPC = %d, want 2", got)
+	}
+}
+
+// TestProxyQuerySpans checks the proxy emits per-query spans when a
+// tracer is attached.
+func TestProxyQuerySpans(t *testing.T) {
+	ring := obs.NewRing(16)
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db, Granularity: federation.Tables,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy(med, federation.Tables, nil)
+	p.SetLogf(func(string, ...any) {})
+	p.SetTracer(obs.NewTracer(ring))
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("select ra from photoobj where ra < 100"); err != nil {
+		t.Fatal(err)
+	}
+	c.Query("not sql") //nolint:errcheck // error path should emit a span too
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("spans = %d, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Name != "proxy.query" || ev.Duration <= 0 {
+			t.Fatalf("span = %+v", ev)
+		}
+	}
+}

@@ -8,12 +8,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/sqlparse"
 )
+
+// DefaultRPCTimeout bounds each node RPC exchange (write + read). A
+// hung node must not hold the proxy's mediation lock forever; see
+// SetRPCTimeout.
+const DefaultRPCTimeout = 10 * time.Second
+
+// MaxStatsCachedObjects bounds the cached-object ids listed in a
+// stats response; larger caches report a prefix (sorted by id).
+const MaxStatsCachedObjects = 64
 
 // Proxy is the paper's mediator-collocated bypass-yield cache as a
 // network daemon. Clients send SQL; the proxy mediates the query,
@@ -24,37 +35,103 @@ import (
 // Byte economics are logical (the mediator's Figure-1 accounting over
 // logical result sizes); the node RPCs carry bounded tuple samples,
 // and their physical frame bytes are tracked separately as transport
-// counters. This keeps the prototype runnable on one machine while
-// preserving the paper's cost model exactly.
+// counters.
+//
+// Observability: the proxy publishes into an obs.Registry — the
+// mediator's, when the mediator was built with one (so core and
+// federation families appear in the same snapshot), otherwise its
+// own. The registry is served over MsgMetrics. Metric families:
+//
+//	wire.frames_rx / wire.frames_tx    client frames per message type
+//	wire.bytes_rx / wire.bytes_tx      client frame bytes per message type
+//	wire.node_tx_bytes / node_rx_bytes node RPC transport byte totals
+//	wire.rpc_latency_us                node RPC latency histogram per site
+//	wire.rpc_errors                    failed node RPCs per site
+//	wire.rpc_timeouts                  node RPCs hitting the deadline, per site
+//	wire.rpc_retries                   reconnect retries per site
+//	wire.node_dials                    node connections dialed, per site
+//	wire.node_conn_drops               node connections dropped, per site
+//	wire.client_conns_opened/_closed   client connection churn
 type Proxy struct {
-	mu        sync.Mutex
-	med       *federation.Mediator
-	gran      federation.Granularity
-	nodeAddrs map[string]string // site → address
-	nodeConns map[string]net.Conn
-	tx, rx    int64
+	mu         sync.Mutex
+	med        *federation.Mediator
+	gran       federation.Granularity
+	nodeAddrs  map[string]string // site → address
+	nodeConns  map[string]net.Conn
+	rpcTimeout time.Duration
 
 	ln     net.Listener
 	logf   func(format string, args ...any)
+	tracer *obs.Tracer
 	wg     sync.WaitGroup
 	closed bool
+
+	reg         *obs.Registry
+	framesRx    *obs.CounterFamily
+	framesTx    *obs.CounterFamily
+	bytesRx     *obs.CounterFamily
+	bytesTx     *obs.CounterFamily
+	nodeTx      *obs.Counter
+	nodeRx      *obs.Counter
+	rpcLatency  *obs.HistogramFamily
+	rpcErrors   *obs.CounterFamily
+	rpcTimeouts *obs.CounterFamily
+	rpcRetries  *obs.CounterFamily
+	nodeDials   *obs.CounterFamily
+	nodeDrops   *obs.CounterFamily
+	connsOpened *obs.Counter
+	connsClosed *obs.Counter
 }
 
 // NewProxy builds a proxy around a mediator. nodeAddrs maps each site
 // to its database node's TCP address; sites absent from the map are
-// served without node RPCs (pure simulation mode).
+// served without node RPCs (pure simulation mode). The proxy adopts
+// the mediator's obs registry when it has one, so one MsgMetrics
+// snapshot covers every layer.
 func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs map[string]string) *Proxy {
-	return &Proxy{
-		med:       med,
-		gran:      gran,
-		nodeAddrs: nodeAddrs,
-		nodeConns: make(map[string]net.Conn),
-		logf:      log.Printf,
+	reg := med.Obs()
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	p := &Proxy{
+		med:        med,
+		gran:       gran,
+		nodeAddrs:  nodeAddrs,
+		nodeConns:  make(map[string]net.Conn),
+		rpcTimeout: DefaultRPCTimeout,
+		logf:       log.Printf,
+		reg:        reg,
+	}
+	p.framesRx = reg.CounterFamily("wire.frames_rx")
+	p.framesTx = reg.CounterFamily("wire.frames_tx")
+	p.bytesRx = reg.CounterFamily("wire.bytes_rx")
+	p.bytesTx = reg.CounterFamily("wire.bytes_tx")
+	p.nodeTx = reg.Counter("wire.node_tx_bytes")
+	p.nodeRx = reg.Counter("wire.node_rx_bytes")
+	p.rpcLatency = reg.HistogramFamily("wire.rpc_latency_us", obs.DefaultLatencyBuckets())
+	p.rpcErrors = reg.CounterFamily("wire.rpc_errors")
+	p.rpcTimeouts = reg.CounterFamily("wire.rpc_timeouts")
+	p.rpcRetries = reg.CounterFamily("wire.rpc_retries")
+	p.nodeDials = reg.CounterFamily("wire.node_dials")
+	p.nodeDrops = reg.CounterFamily("wire.node_conn_drops")
+	p.connsOpened = reg.Counter("wire.client_conns_opened")
+	p.connsClosed = reg.Counter("wire.client_conns_closed")
+	return p
 }
 
 // SetLogf replaces the proxy's logger.
 func (p *Proxy) SetLogf(f func(string, ...any)) { p.logf = f }
+
+// SetTracer attaches a span/event tracer (per-query spans, node RPC
+// failures). Nil detaches.
+func (p *Proxy) SetTracer(t *obs.Tracer) { p.tracer = t }
+
+// SetRPCTimeout replaces the per-RPC deadline applied to node
+// exchanges; d ≤ 0 disables deadlines. Call before Listen.
+func (p *Proxy) SetRPCTimeout(d time.Duration) { p.rpcTimeout = d }
+
+// Obs returns the registry the proxy publishes into.
+func (p *Proxy) Obs() *obs.Registry { return p.reg }
 
 // Listen starts accepting clients on addr and returns the bound
 // address.
@@ -103,34 +180,58 @@ func (p *Proxy) acceptLoop() {
 		go func() {
 			defer p.wg.Done()
 			defer conn.Close()
+			p.connsOpened.Add(1)
+			defer p.connsClosed.Add(1)
 			p.serveConn(conn)
 		}()
 	}
 }
 
+// send writes one frame to a client, counting it.
+func (p *Proxy) send(conn net.Conn, t MsgType, payload any) {
+	n, err := WriteFrame(conn, t, payload)
+	if err != nil {
+		return
+	}
+	label := t.String()
+	p.framesTx.Add(label, 1)
+	p.bytesTx.Add(label, int64(n))
+}
+
 func (p *Proxy) serveConn(conn net.Conn) {
 	for {
-		t, body, _, err := ReadFrame(conn)
+		t, body, rn, err := ReadFrame(conn)
 		if err != nil {
 			return
 		}
+		label := t.String()
+		p.framesRx.Add(label, 1)
+		p.bytesRx.Add(label, int64(rn))
 		switch t {
 		case MsgQuery:
 			var q QueryMsg
 			if err := Decode(body, &q); err != nil {
-				writeErr(conn, err)
+				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
 				continue
 			}
+			span := p.tracer.Start("proxy.query")
 			res, err := p.handleQuery(q.SQL)
 			if err != nil {
-				writeErr(conn, err)
+				span.End(obs.A("error", err.Error()))
+				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
 				continue
 			}
-			WriteFrame(conn, MsgResult, res)
+			span.End(obs.A("decisions", fmt.Sprintf("%d", len(res.Decisions))))
+			p.send(conn, MsgResult, res)
 		case MsgStats:
-			WriteFrame(conn, MsgStatsResult, p.stats())
+			p.send(conn, MsgStatsResult, p.stats())
+		case MsgMetrics:
+			p.send(conn, MsgMetricsResult, MetricsResultMsg{
+				Source:   "byproxyd",
+				Snapshot: p.reg.Snapshot(),
+			})
 		default:
-			writeErr(conn, fmt.Errorf("proxy: unexpected message type %d", t))
+			p.send(conn, MsgError, ErrorMsg{Message: fmt.Sprintf("proxy: unexpected message type %s", t)})
 		}
 	}
 }
@@ -203,22 +304,24 @@ func tableOfObject(object string) string {
 	return rest
 }
 
-// nodeConn returns a (cached) connection to the site's node, or nil
-// when the site has no configured node (simulation mode).
-func (p *Proxy) nodeConn(site string) (net.Conn, error) {
+// nodeConn returns a connection to the site's node and whether it was
+// reused from the cache, or (nil, false, nil) when the site has no
+// configured node (simulation mode).
+func (p *Proxy) nodeConn(site string) (conn net.Conn, cached bool, err error) {
 	if c, ok := p.nodeConns[site]; ok {
-		return c, nil
+		return c, true, nil
 	}
 	addr, ok := p.nodeAddrs[site]
 	if !ok {
-		return nil, nil
+		return nil, false, nil
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	p.nodeDials.Add(site, 1)
 	p.nodeConns[site] = c
-	return c, nil
+	return c, false, nil
 }
 
 // dropConn closes and forgets a node connection after a failure.
@@ -226,28 +329,79 @@ func (p *Proxy) dropConn(site string) {
 	if c, ok := p.nodeConns[site]; ok {
 		c.Close()
 		delete(p.nodeConns, site)
+		p.nodeDrops.Add(site, 1)
 	}
 }
 
-// shipSubquery sends a sub-query to the owning node and drains the
-// response, counting transport bytes.
-func (p *Proxy) shipSubquery(sql, site string) error {
-	conn, err := p.nodeConn(site)
+// failNode records an RPC failure: the connection is dropped and
+// deadline expiries are counted separately.
+func (p *Proxy) failNode(site string, err error) {
+	p.dropConn(site)
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		p.rpcTimeouts.Add(site, 1)
+	}
+	p.rpcErrors.Add(site, 1)
+	p.tracer.Event("proxy.node_rpc_error", obs.A("site", site), obs.A("error", err.Error()))
+}
+
+// nodeRPC performs one request/response exchange with a site's node
+// under the configured deadline, retrying once over a fresh
+// connection when a cached (possibly stale) connection fails with a
+// non-timeout error. Returns (0, nil, nil) when the site has no node.
+func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, error) {
+	rt, body, cached, err := p.tryNodeRPC(site, t, payload)
+	if err == nil || !cached {
+		return rt, body, err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		// The node is hung, not stale: retrying would block another
+		// full deadline while holding the mediation lock.
+		return 0, nil, err
+	}
+	p.rpcRetries.Add(site, 1)
+	rt, body, _, err = p.tryNodeRPC(site, t, payload)
+	return rt, body, err
+}
+
+// tryNodeRPC is one attempt of nodeRPC; cached reports whether the
+// attempt ran over a reused connection.
+func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any) (MsgType, []byte, bool, error) {
+	conn, cached, err := p.nodeConn(site)
 	if err != nil || conn == nil {
-		return err
+		return 0, nil, cached, err
 	}
-	n, err := WriteFrame(conn, MsgQuery, QueryMsg{SQL: sql})
+	start := time.Now()
+	if p.rpcTimeout > 0 {
+		conn.SetDeadline(start.Add(p.rpcTimeout))
+	}
+	n, err := WriteFrame(conn, t, payload)
 	if err != nil {
-		p.dropConn(site)
-		return err
+		p.failNode(site, err)
+		return 0, nil, cached, err
 	}
-	p.tx += int64(n)
-	t, body, rn, err := ReadFrame(conn)
+	p.nodeTx.Add(int64(n))
+	rt, body, rn, err := ReadFrame(conn)
 	if err != nil {
-		p.dropConn(site)
+		p.failNode(site, err)
+		return 0, nil, cached, err
+	}
+	if p.rpcTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	p.nodeRx.Add(int64(rn))
+	p.rpcLatency.Observe(site, time.Since(start).Microseconds())
+	return rt, body, cached, nil
+}
+
+// shipSubquery sends a sub-query to the owning node and drains the
+// response.
+func (p *Proxy) shipSubquery(sql, site string) error {
+	t, body, err := p.nodeRPC(site, MsgQuery, QueryMsg{SQL: sql})
+	if err != nil || body == nil {
 		return err
 	}
-	p.rx += int64(rn)
 	if t == MsgError {
 		var e ErrorMsg
 		if err := Decode(body, &e); err != nil {
@@ -260,22 +414,10 @@ func (p *Proxy) shipSubquery(sql, site string) error {
 
 // fetchObject performs an object-fetch RPC for a load decision.
 func (p *Proxy) fetchObject(object, site string) error {
-	conn, err := p.nodeConn(site)
-	if err != nil || conn == nil {
+	t, body, err := p.nodeRPC(site, MsgFetch, FetchMsg{Object: object})
+	if err != nil || body == nil {
 		return err
 	}
-	n, err := WriteFrame(conn, MsgFetch, FetchMsg{Object: object})
-	if err != nil {
-		p.dropConn(site)
-		return err
-	}
-	p.tx += int64(n)
-	t, body, rn, err := ReadFrame(conn)
-	if err != nil {
-		p.dropConn(site)
-		return err
-	}
-	p.rx += int64(rn)
 	if t == MsgError {
 		var e ErrorMsg
 		if err := Decode(body, &e); err != nil {
@@ -293,8 +435,8 @@ func (p *Proxy) stats() StatsResultMsg {
 	msg := StatsResultMsg{
 		Granularity: p.gran.String(),
 		Acct:        p.med.Accounting(),
-		TransportTx: p.tx,
-		TransportRx: p.rx,
+		TransportTx: p.nodeTx.Value(),
+		TransportRx: p.nodeRx.Value(),
 		Queries:     p.med.Clock(),
 	}
 	if pol := p.med.Policy(); pol != nil {
@@ -304,9 +446,8 @@ func (p *Proxy) stats() StatsResultMsg {
 		if cl, ok := pol.(core.ContentLister); ok {
 			ids := cl.Contents()
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			const cap = 64
-			if len(ids) > cap {
-				ids = ids[:cap]
+			if len(ids) > MaxStatsCachedObjects {
+				ids = ids[:MaxStatsCachedObjects]
 			}
 			for _, id := range ids {
 				msg.CachedObjects = append(msg.CachedObjects, string(id))

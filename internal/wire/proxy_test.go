@@ -1,13 +1,16 @@
 package wire
 
 import (
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
 )
 
 // newSimProxy builds a proxy with no database nodes (pure simulation
@@ -23,6 +26,7 @@ func newSimProxy(t *testing.T, nodeAddrs map[string]string) (*Proxy, *Client, fu
 		Schema: s, Engine: db,
 		Policy:      core.NewRateProfile(core.RateProfileConfig{Capacity: s.TotalBytes()}),
 		Granularity: federation.Tables,
+		Obs:         obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,5 +166,106 @@ func TestStatsCachedObjects(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("cached objects = %v, want edr/photoobj", st.CachedObjects)
+	}
+	if len(st.CachedObjects) > MaxStatsCachedObjects {
+		t.Fatalf("stats lists %d cached objects, cap is %d",
+			len(st.CachedObjects), MaxStatsCachedObjects)
+	}
+}
+
+// TestProxyConcurrentClients hammers the proxy from many client
+// goroutines while others poll stats and metrics. Run under -race
+// this exercises the mediation lock, the obs registry's atomics, and
+// per-connection serving paths all at once.
+func TestProxyConcurrentClients(t *testing.T) {
+	p, c0, done := newSimProxy(t, nil)
+	defer done()
+	addr := c0.conn.RemoteAddr().String()
+
+	const (
+		clients          = 8
+		queriesPerClient = 20
+		pollers          = 2
+	)
+	sqls := []string{
+		"select ra from photoobj where ra < 100",
+		"select ra, dec from photoobj where ra between 0 and 350",
+		"select z from specobj where z < 2",
+	}
+
+	var wgClients, wgPollers sync.WaitGroup
+	errc := make(chan error, clients+pollers)
+	stop := make(chan struct{})
+
+	for i := 0; i < clients; i++ {
+		wgClients.Add(1)
+		go func(i int) {
+			defer wgClients.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < queriesPerClient; j++ {
+				res, err := c.Query(sqls[(i+j)%len(sqls)])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.Rows < 0 {
+					errc <- fmt.Errorf("negative rows: %+v", res)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < pollers; i++ {
+		wgPollers.Add(1)
+		go func() {
+			defer wgPollers.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Stats(); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := c.Metrics(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wgClients.Wait()
+	close(stop)
+	wgPollers.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	st, err := c0.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != clients*queriesPerClient {
+		t.Fatalf("queries = %d, want %d", st.Queries, clients*queriesPerClient)
+	}
+	snap := p.Obs().Snapshot()
+	if got := snap.CounterValue("federation.queries", ""); got != clients*queriesPerClient {
+		t.Fatalf("federation.queries = %d, want %d", got, clients*queriesPerClient)
 	}
 }

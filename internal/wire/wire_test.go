@@ -9,6 +9,7 @@ import (
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -97,6 +98,7 @@ func testFederation(t *testing.T, policy core.Policy, gran federation.Granularit
 
 	med, err := federation.New(federation.Config{
 		Schema: s, Engine: db, Policy: policy, Granularity: gran,
+		Obs: obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)
