@@ -18,6 +18,17 @@ race:
 
 # A fast allocation/throughput smoke over the hot paths: the obs
 # registry (must stay allocation-free) and one end-to-end experiment.
+# The obs run is distilled into BENCH_obs.json (ns/op and allocs/op
+# per benchmark) so CI can archive hot-path numbers across commits.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1000x ./internal/obs/
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1000x ./internal/obs/ | tee bench_obs.txt
+	awk 'BEGIN { print "{"; n = 0 } \
+	  /^Benchmark/ { \
+	    if (n++) printf ",\n"; \
+	    name = $$1; sub(/-[0-9]+$$/, "", name); \
+	    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, $$3, $$7 \
+	  } \
+	  END { print "\n}" }' bench_obs.txt > BENCH_obs.json
+	rm -f bench_obs.txt
+	cat BENCH_obs.json
 	$(GO) test -run='^$$' -bench=BenchmarkFig7TableCurves -benchtime=1x .

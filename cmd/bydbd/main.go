@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	bydbd -release edr -site photo.sdss.org -addr :7101
+//	bydbd -release edr -site photo.sdss.org -addr :7101 \
+//	  -http :7181 -trace-out node-spans.jsonl
 package main
 
 import (
@@ -16,63 +17,124 @@ import (
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/engine"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/wire"
 )
 
+// options bundles the node's tunables (one per flag).
+type options struct {
+	release  string
+	site     string
+	addr     string
+	sample   int64
+	seed     int64
+	traceOut string // JSONL span log path ("" disables)
+	httpAddr string // telemetry plane listen address ("" disables)
+}
+
 func main() {
-	var (
-		release = flag.String("release", "edr", "data release: edr or dr1")
-		site    = flag.String("site", catalog.SitePhoto, "site this node serves")
-		addr    = flag.String("addr", ":7101", "listen address")
-		sample  = flag.Int64("sample", 1000, "materialize 1 of every N logical rows")
-		seed    = flag.Int64("seed", 1, "data synthesis seed (must match the proxy's)")
-	)
+	var o options
+	flag.StringVar(&o.release, "release", "edr", "data release: edr or dr1")
+	flag.StringVar(&o.site, "site", catalog.SitePhoto, "site this node serves")
+	flag.StringVar(&o.addr, "addr", ":7101", "listen address")
+	flag.Int64Var(&o.sample, "sample", 1000, "materialize 1 of every N logical rows")
+	flag.Int64Var(&o.seed, "seed", 1, "data synthesis seed (must match the proxy's)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "append execute/fetch spans as JSONL to this file")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /healthz, /debug/pprof on this address")
 	flag.Parse()
 
-	if err := run(*release, *site, *addr, *sample, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bydbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(release, site, addr string, sample, seed int64) error {
-	node, bound, err := start(release, site, addr, sample, seed)
+func run(o options) error {
+	d, err := start(o)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bydbd: serving %s of release %s on %s (sample 1/%d)\n",
-		site, release, bound, sample)
+		o.site, o.release, d.bound, o.sample)
+	if d.http != nil {
+		fmt.Fprintf(os.Stderr, "bydbd: telemetry on http://%s/metrics\n", d.http.Addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	return node.Close()
+	return d.Close()
+}
+
+// daemon is a started node with its telemetry plane and span sink.
+type daemon struct {
+	node  *wire.DBNode
+	http  *obs.HTTPServer // nil when -http is unset
+	sink  *obs.JSONL      // nil when -trace-out is unset
+	bound string
+}
+
+// Close shuts the listener, the HTTP plane, and — last, so in-flight
+// spans still land — flushes and closes the span log.
+func (d *daemon) Close() error {
+	err := d.node.Close()
+	if d.http != nil {
+		if herr := d.http.Close(); err == nil {
+			err = herr
+		}
+	}
+	if serr := d.sink.Close(); err == nil {
+		err = serr
+	}
+	return err
 }
 
 // start builds and listens a database node; split from run so tests
 // can exercise everything but the signal wait.
-func start(release, site, addr string, sample, seed int64) (*wire.DBNode, string, error) {
-	s, err := schemaFor(release)
+func start(o options) (*daemon, error) {
+	s, err := schemaFor(o.release)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	// Materialize only this site's tables; synthesis is seeded per
 	// column, so the subset matches the proxy's full instance exactly.
-	sub := catalog.SiteSchema(s, site)
+	sub := catalog.SiteSchema(s, o.site)
 	if len(sub.Tables) == 0 {
-		return nil, "", fmt.Errorf("site %q owns no tables of release %s (have %v)",
-			site, s.Name, catalog.Sites(s))
+		return nil, fmt.Errorf("site %q owns no tables of release %s (have %v)",
+			o.site, s.Name, catalog.Sites(s))
 	}
-	db, err := engine.Open(sub, engine.Config{SampleEvery: sample, Seed: seed})
+	db, err := engine.Open(sub, engine.Config{SampleEvery: o.sample, Seed: o.seed})
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	node := wire.NewDBNode(site, db)
-	bound, err := node.Listen(addr)
+	node := wire.NewDBNode(o.site, db)
+	d := &daemon{node: node}
+	if o.traceOut != "" {
+		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		d.sink = obs.NewJSONL(f)
+		node.SetTracer(obs.NewTracer(d.sink))
+	}
+	if o.httpAddr != "" {
+		srv, err := obs.StartHTTP(o.httpAddr, obs.NewHTTPHandler(node.Obs().Snapshot))
+		if err != nil {
+			d.sink.Close()
+			return nil, err
+		}
+		d.http = srv
+	}
+	bound, err := node.Listen(o.addr)
 	if err != nil {
-		return nil, "", err
+		if d.http != nil {
+			d.http.Close()
+		}
+		d.sink.Close()
+		return nil, err
 	}
-	return node, bound, nil
+	d.bound = bound
+	return d, nil
 }
 
 func schemaFor(release string) (*catalog.Schema, error) {

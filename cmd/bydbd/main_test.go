@@ -1,23 +1,37 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"bypassyield/internal/catalog"
+	"bypassyield/internal/obs"
 	"bypassyield/internal/wire"
 )
 
+func testOptions() options {
+	return options{
+		release: "edr", site: catalog.SiteSpec, addr: "127.0.0.1:0",
+		sample: 100000, seed: 1,
+	}
+}
+
 func TestStartAndServe(t *testing.T) {
-	node, addr, err := start("edr", catalog.SiteSpec, "127.0.0.1:0", 100000, 1)
+	o := testOptions()
+	o.traceOut = filepath.Join(t.TempDir(), "spans.jsonl")
+	o.httpAddr = "127.0.0.1:0"
+	d, err := start(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer node.Close()
-	c, err := wire.Dial(addr)
+	c, err := wire.Dial(d.bound)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
 	res, err := c.Query("select z from specobj where z < 3")
 	if err != nil {
 		t.Fatal(err)
@@ -25,17 +39,62 @@ func TestStartAndServe(t *testing.T) {
 	if res.Rows <= 0 {
 		t.Fatal("no rows from node")
 	}
+	// A traced query joins the caller's trace in the span log.
+	ctx := obs.TraceContext{TraceID: obs.NewID(), SpanID: obs.NewID()}
+	if _, err := c.QueryTraced("select z from specobj where z < 2", ctx); err != nil {
+		t.Fatal(err)
+	}
 	// The node holds only its site's tables.
 	if _, err := c.Query("select ra from photoobj where ra < 10"); err == nil {
 		t.Fatal("foreign-site table should be rejected")
 	}
+
+	// HTTP telemetry plane serves the node's registry.
+	resp, err := http.Get("http://" + d.http.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "dbnode_queries") {
+		t.Fatalf("GET /metrics: %d\n%s", resp.StatusCode, body)
+	}
+
+	// Close flushes the span log: the traced execute span must be on
+	// disk afterwards, carrying the client's trace id. The client must
+	// disconnect first — Close waits for in-flight connections.
+	c.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := string(b)
+	if !strings.Contains(log, "dbnode.execute") || !strings.Contains(log, ctx.TraceHex()) {
+		t.Fatalf("span log missing traced execute span:\n%s", log)
+	}
+	// The untraced queries produced no spans.
+	if got := strings.Count(log, "dbnode.execute"); got != 1 {
+		t.Fatalf("execute spans = %d, want 1 (untraced frames stay silent)", got)
+	}
 }
 
 func TestStartErrors(t *testing.T) {
-	if _, _, err := start("dr9", catalog.SiteSpec, "127.0.0.1:0", 100000, 1); err == nil {
+	o := testOptions()
+	o.release = "dr9"
+	if _, err := start(o); err == nil {
 		t.Fatal("unknown release should error")
 	}
-	if _, _, err := start("edr", "nowhere", "127.0.0.1:0", 100000, 1); err == nil {
+	o = testOptions()
+	o.site = "nowhere"
+	if _, err := start(o); err == nil {
 		t.Fatal("siteless node should error")
+	}
+	o = testOptions()
+	o.httpAddr = "256.0.0.1:bogus"
+	if _, err := start(o); err == nil {
+		t.Fatal("unbindable -http address should fail startup")
 	}
 }

@@ -1,7 +1,9 @@
 // Command byinspect analyzes a workload trace file — class mix, yield
 // distribution, sequence cost, schema locality (the paper's Figures
 // 5–6), and query containment (Figure 4) — or, with -addr, scrapes a
-// live byproxyd/bydbd metrics snapshot and renders it.
+// live byproxyd/bydbd metrics snapshot and renders it. With -spans it
+// merges daemon span logs into per-query trace waterfalls; with
+// -watch it re-scrapes live metrics and shows what moved.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	byinspect -trace edr.jsonl.gz
 //	byinspect -addr localhost:7100          # live metrics, human table
 //	byinspect -addr localhost:7100 -json    # raw snapshot JSON
+//	byinspect -addr localhost:7100 -watch 2s
+//	byinspect -spans proxy.jsonl,photo.jsonl,spec.jsonl
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"bypassyield/internal/trace"
 	"bypassyield/internal/workload"
@@ -28,13 +33,20 @@ func main() {
 		prep   = flag.Bool("preprocess", true, "drop log-self queries before analysis")
 		addr   = flag.String("addr", "", "scrape live metrics from a proxy or node at this address")
 		asJSON = flag.Bool("json", false, "with -addr, print the raw snapshot as JSON")
+		watch  = flag.Duration("watch", 0, "with -addr, re-scrape at this interval and show deltas")
+		spans  = flag.String("spans", "", "comma-separated daemon span logs (-trace-out files) to merge into trace waterfalls")
 	)
 	flag.Parse()
 
 	var err error
-	if *addr != "" {
+	switch {
+	case *spans != "":
+		err = runSpans(os.Stdout, strings.Split(*spans, ","))
+	case *addr != "" && *watch > 0:
+		err = runWatch(os.Stdout, *addr, *watch, 0)
+	case *addr != "":
 		err = runLive(os.Stdout, *addr, *asJSON)
-	} else {
+	default:
 		err = run(*path, *top, *prep)
 	}
 	if err != nil {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bypassyield/internal/obs"
+)
+
+// waterfallWidth is the character width of the per-span timing bar.
+const waterfallWidth = 30
+
+// runSpans merges one or more JSONL span logs (byproxyd and bydbd
+// -trace-out files) and renders each reconstructed trace as a
+// waterfall: offset and duration per span, indentation by tree depth,
+// and a bar positioning the span within the trace. Orphaned spans
+// (parent missing from the merged logs) are flagged.
+func runSpans(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-spans needs at least one JSONL span log")
+	}
+	var merged []obs.Event
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		evs, err := obs.ReadEvents(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		merged = append(merged, evs...)
+	}
+	trees := obs.BuildTraces(merged)
+	if len(trees) == 0 {
+		return fmt.Errorf("no traced spans in %s", strings.Join(paths, ", "))
+	}
+	fmt.Fprintf(w, "%d traces from %d files\n", len(trees), len(paths))
+	for _, tree := range trees {
+		renderTrace(w, tree)
+	}
+	return nil
+}
+
+// renderTrace prints one trace's waterfall.
+func renderTrace(w io.Writer, tree obs.TraceTree) {
+	start, total := tree.Bounds()
+	fmt.Fprintf(w, "\ntrace %s: %d spans, %.3f ms", tree.ID, tree.Spans,
+		float64(total.Nanoseconds())/1e6)
+	if tree.Orphans > 0 {
+		fmt.Fprintf(w, " (%d orphaned spans)", tree.Orphans)
+	}
+	fmt.Fprintln(w)
+	tree.Walk(func(n *obs.SpanNode, depth int) {
+		offset := n.Time.Sub(start)
+		bar := waterfallBar(float64(offset), float64(n.Duration), float64(total))
+		attrs := make([]string, 0, len(n.Attrs))
+		for _, a := range n.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		fmt.Fprintf(w, "  %9.3f  +%8.3f  |%s|  %s%s",
+			float64(offset.Nanoseconds())/1e6,
+			float64(n.Duration.Nanoseconds())/1e6,
+			bar, strings.Repeat("  ", depth), n.Name)
+		if len(attrs) > 0 {
+			fmt.Fprintf(w, "  %s", strings.Join(attrs, " "))
+		}
+		fmt.Fprintln(w)
+	})
+}
+
+// waterfallBar draws a fixed-width bar with the span's extent marked.
+func waterfallBar(offset, dur, total float64) string {
+	bar := []byte(strings.Repeat(" ", waterfallWidth))
+	if total <= 0 {
+		return string(bar)
+	}
+	lo := int(offset / total * waterfallWidth)
+	hi := int((offset + dur) / total * waterfallWidth)
+	if lo >= waterfallWidth {
+		lo = waterfallWidth - 1
+	}
+	if hi > waterfallWidth {
+		hi = waterfallWidth
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	for i := lo; i < hi; i++ {
+		bar[i] = '='
+	}
+	return string(bar)
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bypassyield/internal/obs"
+)
+
+// writeSpanLog runs a tiny two-daemon trace through JSONL sinks: the
+// "proxy" log holds the root and an RPC leg, the "node" log holds the
+// remote span, exactly as -trace-out files from byproxyd and bydbd.
+func writeSpanLogs(t *testing.T) (proxyLog, nodeLog string) {
+	t.Helper()
+	dir := t.TempDir()
+	proxyLog = filepath.Join(dir, "proxy.jsonl")
+	nodeLog = filepath.Join(dir, "node.jsonl")
+
+	pf, err := os.Create(proxyLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := os.Create(nodeLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := obs.NewTracer(obs.NewJSONL(pf))
+	node := obs.NewTracer(obs.NewJSONL(nf))
+
+	root := proxy.Root("proxy.query")
+	leg := proxy.Child(root.Context(), "proxy.fetch", obs.A("object", "edr/photoobj.ra"))
+	remote := node.Child(leg.Context(), "dbnode.fetch", obs.A("size", "4200"))
+	time.Sleep(time.Millisecond)
+	remote.End()
+	leg.End()
+	root.End(obs.A("decisions", "1"))
+	pf.Close()
+	nf.Close()
+	return proxyLog, nodeLog
+}
+
+func TestRunSpansWaterfall(t *testing.T) {
+	proxyLog, nodeLog := writeSpanLogs(t)
+	var buf bytes.Buffer
+	if err := runSpans(&buf, []string{proxyLog, nodeLog}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"1 traces from 2 files",
+		"3 spans",
+		"proxy.query",
+		"  proxy.fetch", // indented one level under the root
+		"    dbnode.fetch",
+		"object=edr/photoobj.ra",
+		"size=4200",
+		"decisions=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "orphaned") {
+		t.Fatalf("fully merged logs should have no orphans:\n%s", out)
+	}
+	// The proxy log alone is missing the node span's subtree — still
+	// renders, no orphan either (the node span is simply absent).
+	buf.Reset()
+	if err := runSpans(&buf, []string{proxyLog}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "dbnode.fetch") {
+		t.Fatal("node span leaked into proxy-only rendering")
+	}
+	// The node log alone has a span whose parent lives elsewhere: it
+	// must surface as an orphan, not vanish.
+	buf.Reset()
+	if err := runSpans(&buf, []string{nodeLog}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 orphaned") {
+		t.Fatalf("partial log should flag the orphan:\n%s", buf.String())
+	}
+}
+
+func TestRunSpansErrors(t *testing.T) {
+	if err := runSpans(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("no paths should error")
+	}
+	if err := runSpans(&bytes.Buffer{}, []string{filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+		t.Fatal("absent file should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpans(&bytes.Buffer{}, []string{empty}); err == nil {
+		t.Fatal("span-free log should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpans(&bytes.Buffer{}, []string{bad}); err == nil {
+		t.Fatal("malformed log should error")
+	}
+}
+
+func TestWaterfallBar(t *testing.T) {
+	if got := waterfallBar(0, 1, 1); !strings.HasPrefix(got, "==") || len(got) != waterfallWidth {
+		t.Fatalf("full-extent bar = %q", got)
+	}
+	if got := waterfallBar(0, 0, 0); strings.Contains(got, "=") {
+		t.Fatalf("zero-total bar = %q", got)
+	}
+	// A zero-duration span still gets one visible cell.
+	if got := waterfallBar(0.5, 0, 1); strings.Count(got, "=") != 1 {
+		t.Fatalf("point span bar = %q", got)
+	}
+	// Offset at the extreme right stays in bounds.
+	if got := waterfallBar(1, 1, 1); len(got) != waterfallWidth {
+		t.Fatalf("clamped bar = %q", got)
+	}
+}
+
+func TestRunWatch(t *testing.T) {
+	addr := liveProxy(t)
+	var buf bytes.Buffer
+	// Two 20ms rounds: the Metrics scrapes themselves move the proxy's
+	// wire counters, so each sample shows deltas.
+	if err := runWatch(&buf, addr, 20*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"watching byproxyd",
+		"[sample 1 +20ms]",
+		"[sample 2 +40ms]",
+		"wire.frames_rx{metrics}",
+		"windowed rates:",
+		"core.query_rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWatchErrors(t *testing.T) {
+	if err := runWatch(&bytes.Buffer{}, "127.0.0.1:1", time.Millisecond, 1); err == nil {
+		t.Fatal("dial failure should error")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bypassyield/internal/obs"
+	"bypassyield/internal/wire"
+)
+
+// runWatch scrapes a daemon's metrics every interval and renders what
+// moved: counter deltas with their implied per-second rate, plus the
+// daemon's own sliding-window rates. rounds bounds the number of
+// samples (≤ 0 means run until the connection drops or stdin closes
+// the process; main passes 0, tests pass a small count).
+func runWatch(w io.Writer, addr string, interval time.Duration, rounds int) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	prev, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "watching %s at %s every %s (ctrl-c to stop)\n",
+		prev.Source, addr, interval)
+	for i := 1; rounds <= 0 || i <= rounds; i++ {
+		time.Sleep(interval)
+		cur, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n[sample %d +%s]\n", i, time.Duration(i)*interval)
+		renderDeltas(w, prev.Snapshot, cur.Snapshot, interval)
+		prev = cur
+	}
+	return nil
+}
+
+// renderDeltas prints the counters that moved between two snapshots
+// and the current windowed rates.
+func renderDeltas(w io.Writer, prev, cur obs.Snapshot, interval time.Duration) {
+	base := map[string]int64{}
+	for _, c := range prev.Counters {
+		base[c.Name+"\x00"+c.Label] = c.Value
+	}
+	moved := 0
+	secs := interval.Seconds()
+	for _, c := range cur.Counters {
+		d := c.Value - base[c.Name+"\x00"+c.Label]
+		if d == 0 {
+			continue
+		}
+		moved++
+		name := c.Name
+		if c.Label != "" {
+			name += "{" + c.Label + "}"
+		}
+		fmt.Fprintf(w, "  %-40s %+12d  (%.1f/s)\n", name, d, float64(d)/secs)
+	}
+	if moved == 0 {
+		fmt.Fprintln(w, "  (idle: no counter movement)")
+	}
+	if len(cur.Rates) > 0 {
+		fmt.Fprintln(w, "  windowed rates:")
+		for _, r := range cur.Rates {
+			fmt.Fprintf(w, "    %-38s %12.1f/s  (over %.0fs)\n",
+				r.Name, r.PerSecond, r.WindowSeconds)
+		}
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	byproxyd -release edr -addr :7100 -policy rate-profile -cache-pct 0.4 \
-//	  -nodes "photo.sdss.org=localhost:7101,spec.sdss.org=localhost:7102"
+//	  -nodes "photo.sdss.org=localhost:7101,spec.sdss.org=localhost:7102" \
+//	  -http :7180 -trace-out proxy-spans.jsonl
 package main
 
 import (
@@ -39,6 +40,7 @@ type options struct {
 
 	rpcTimeout time.Duration // node RPC deadline (0 disables)
 	traceOut   string        // JSONL span log path ("" disables)
+	httpAddr   string        // telemetry plane listen address ("" disables)
 }
 
 func main() {
@@ -53,6 +55,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "data synthesis seed (must match the nodes')")
 	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", wire.DefaultRPCTimeout, "deadline for node RPCs (0 disables)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "append per-query spans as JSONL to this file")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /healthz, /debug/pprof on this address")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -62,64 +65,89 @@ func main() {
 }
 
 func run(o options) error {
-	proxy, bound, desc, err := start(o)
+	d, err := start(o)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "byproxyd: %s on %s\n", desc, bound)
+	fmt.Fprintf(os.Stderr, "byproxyd: %s on %s\n", d.desc, d.bound)
+	if d.http != nil {
+		fmt.Fprintf(os.Stderr, "byproxyd: telemetry on http://%s/metrics\n", d.http.Addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	return proxy.Close()
+	return d.Close()
+}
+
+// daemon is a started proxy with its telemetry plane and span sink.
+type daemon struct {
+	proxy *wire.Proxy
+	http  *obs.HTTPServer // nil when -http is unset
+	sink  *obs.JSONL      // nil when -trace-out is unset
+	bound string
+	desc  string
+}
+
+// Close shuts the listener, the HTTP plane, and — last, so in-flight
+// spans still land — flushes and closes the span log.
+func (d *daemon) Close() error {
+	err := d.proxy.Close()
+	if d.http != nil {
+		if herr := d.http.Close(); err == nil {
+			err = herr
+		}
+	}
+	if serr := d.sink.Close(); err == nil {
+		err = serr
+	}
+	return err
 }
 
 // start builds and listens the proxy; split from run so tests can
 // exercise everything but the signal wait.
-func start(o options) (*wire.Proxy, string, string, error) {
-	release, addr, policy := o.release, o.addr, o.policy
-	cachePct, gran, nodes := o.cachePct, o.gran, o.nodes
-	sample, seed := o.sample, o.seed
+func start(o options) (*daemon, error) {
 	var s *catalog.Schema
-	switch release {
+	switch o.release {
 	case "edr":
 		s = catalog.EDR()
 	case "dr1":
 		s = catalog.DR1()
 	default:
-		return nil, "", "", fmt.Errorf("unknown release %q (have edr, dr1)", release)
+		return nil, fmt.Errorf("unknown release %q (have edr, dr1)", o.release)
 	}
-	g, err := federation.ParseGranularity(gran)
+	g, err := federation.ParseGranularity(o.gran)
 	if err != nil {
-		return nil, "", "", err
+		return nil, err
 	}
-	capacity := int64(cachePct * float64(s.TotalBytes()))
-	pol, err := core.NewPolicyByName(policy, capacity, seed)
+	capacity := int64(o.cachePct * float64(s.TotalBytes()))
+	pol, err := core.NewPolicyByName(o.policy, capacity, o.seed)
 	if err != nil {
-		return nil, "", "", err
+		return nil, err
 	}
-	db, err := engine.Open(s, engine.Config{SampleEvery: sample, Seed: seed})
+	db, err := engine.Open(s, engine.Config{SampleEvery: o.sample, Seed: o.seed})
 	if err != nil {
-		return nil, "", "", err
+		return nil, err
 	}
 	// One registry spans the whole daemon: the mediator/policy record
 	// into it, the local engine shares it, and the proxy adopts it, so
-	// a single MsgMetrics snapshot covers every layer.
+	// a single MsgMetrics snapshot (and the /metrics exposition) covers
+	// every layer.
 	reg := obs.NewRegistry()
 	db.SetObs(reg)
 	med, err := federation.New(federation.Config{
 		Schema: s, Engine: db, Policy: pol, Granularity: g, Obs: reg,
 	})
 	if err != nil {
-		return nil, "", "", err
+		return nil, err
 	}
 
 	nodeAddrs := map[string]string{}
-	if nodes != "" {
-		for _, pair := range strings.Split(nodes, ",") {
+	if o.nodes != "" {
+		for _, pair := range strings.Split(o.nodes, ",") {
 			site, naddr, ok := strings.Cut(strings.TrimSpace(pair), "=")
 			if !ok {
-				return nil, "", "", fmt.Errorf("bad -nodes entry %q (want site=addr)", pair)
+				return nil, fmt.Errorf("bad -nodes entry %q (want site=addr)", pair)
 			}
 			nodeAddrs[site] = naddr
 		}
@@ -127,18 +155,33 @@ func start(o options) (*wire.Proxy, string, string, error) {
 
 	proxy := wire.NewProxy(med, g, nodeAddrs)
 	proxy.SetRPCTimeout(o.rpcTimeout)
+	d := &daemon{proxy: proxy}
 	if o.traceOut != "" {
 		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return nil, "", "", err
+			return nil, err
 		}
-		proxy.SetTracer(obs.NewTracer(obs.NewJSONL(f)))
+		d.sink = obs.NewJSONL(f)
+		proxy.SetTracer(obs.NewTracer(d.sink))
 	}
-	bound, err := proxy.Listen(addr)
+	if o.httpAddr != "" {
+		srv, err := obs.StartHTTP(o.httpAddr, obs.NewHTTPHandler(reg.Snapshot))
+		if err != nil {
+			d.sink.Close()
+			return nil, err
+		}
+		d.http = srv
+	}
+	bound, err := proxy.Listen(o.addr)
 	if err != nil {
-		return nil, "", "", err
+		if d.http != nil {
+			d.http.Close()
+		}
+		d.sink.Close()
+		return nil, err
 	}
-	desc := fmt.Sprintf("release %s, policy %s, cache %.0f%% (%d MB), granularity %s, %d nodes",
-		s.Name, pol.Name(), cachePct*100, capacity>>20, g, len(nodeAddrs))
-	return proxy, bound, desc, nil
+	d.bound = bound
+	d.desc = fmt.Sprintf("release %s, policy %s, cache %.0f%% (%d MB), granularity %s, %d nodes",
+		s.Name, pol.Name(), o.cachePct*100, capacity>>20, g, len(nodeAddrs))
+	return d, nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,15 +23,16 @@ func testOptions() options {
 func TestStartAndQuery(t *testing.T) {
 	o := testOptions()
 	o.traceOut = filepath.Join(t.TempDir(), "spans.jsonl")
-	proxy, addr, desc, err := start(o)
+	o.httpAddr = "127.0.0.1:0"
+	d, err := start(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer proxy.Close()
-	if !strings.Contains(desc, "rate-profile") || !strings.Contains(desc, "columns") {
-		t.Fatalf("description = %q", desc)
+	defer d.Close()
+	if !strings.Contains(d.desc, "rate-profile") || !strings.Contains(d.desc, "columns") {
+		t.Fatalf("description = %q", d.desc)
 	}
-	c, err := wire.Dial(addr)
+	c, err := wire.Dial(d.bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +71,27 @@ func TestStartAndQuery(t *testing.T) {
 		t.Fatal("decision counters missing from daemon registry")
 	}
 
+	// The same registry backs the HTTP telemetry plane.
+	resp, err := http.Get("http://" + d.http.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"federation_queries 1", "core_query_rate"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if resp, err := http.Get("http://" + d.http.Addr + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
 	// -trace-out wrote a span for the query.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
@@ -99,9 +123,17 @@ func TestStartErrors(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			o := testOptions()
 			o.release, o.policy, o.gran, o.nodes = tc.release, tc.policy, tc.gran, tc.nodes
-			if _, _, _, err := start(o); err == nil {
+			if _, err := start(o); err == nil {
 				t.Fatal("expected error")
 			}
 		})
+	}
+}
+
+func TestStartBadHTTPAddr(t *testing.T) {
+	o := testOptions()
+	o.httpAddr = "256.0.0.1:bogus"
+	if _, err := start(o); err == nil {
+		t.Fatal("unbindable -http address should fail startup")
 	}
 }

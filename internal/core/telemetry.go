@@ -21,6 +21,14 @@ import "bypassyield/internal/obs"
 //	core.episodes_opened      counter
 //	core.episodes_closed      counter
 //
+// Sliding-window rates (the operational analogue of the paper's rate
+// profiles, eq. 3 — recent flow intensity rather than lifetime sums):
+//
+//	core.bypass_bytes_rate    D_S bytes/s over the recent window
+//	core.fetch_bytes_rate     D_L bytes/s
+//	core.cache_bytes_rate     D_C bytes/s
+//	core.query_rate           mediated queries/s
+//
 // A Telemetry built over a nil registry — or a nil *Telemetry — is a
 // no-op, so policies and simulators thread it unconditionally.
 type Telemetry struct {
@@ -35,6 +43,11 @@ type Telemetry struct {
 
 	episodesOpened *obs.Counter
 	episodesClosed *obs.Counter
+
+	bypassRate *obs.Rate
+	fetchRate  *obs.Rate
+	cacheRate  *obs.Rate
+	queryRate  *obs.Rate
 }
 
 // TelemetrySetter is implemented by policies that publish internal
@@ -60,6 +73,10 @@ func NewTelemetry(r *obs.Registry) *Telemetry {
 		yieldBytes:     r.Counter("core.yield_bytes"),
 		episodesOpened: r.Counter("core.episodes_opened"),
 		episodesClosed: r.Counter("core.episodes_closed"),
+		bypassRate:     r.Rate("core.bypass_bytes_rate"),
+		fetchRate:      r.Rate("core.fetch_bytes_rate"),
+		cacheRate:      r.Rate("core.cache_bytes_rate"),
+		queryRate:      r.Rate("core.query_rate"),
 	}
 }
 
@@ -76,12 +93,26 @@ func (t *Telemetry) RecordAccess(policy string, obj Object, yield int64, d Decis
 	switch d {
 	case Hit:
 		t.cacheBytes.Add(yield)
+		t.cacheRate.Add(yield)
 	case Bypass:
-		t.bypassBytes.Add(obj.BypassCost(yield))
+		cost := obj.BypassCost(yield)
+		t.bypassBytes.Add(cost)
+		t.bypassRate.Add(cost)
 	case Load:
 		t.fetchBytes.Add(obj.FetchCost)
+		t.fetchRate.Add(obj.FetchCost)
 		t.cacheBytes.Add(yield)
+		t.cacheRate.Add(yield)
 	}
+}
+
+// RecordQuery feeds the windowed query rate; the mediator calls it
+// once per mediated statement.
+func (t *Telemetry) RecordQuery() {
+	if t == nil {
+		return
+	}
+	t.queryRate.Add(1)
 }
 
 // RecordEvictions adds an eviction count for a policy (callers feed

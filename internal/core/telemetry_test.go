@@ -54,11 +54,27 @@ func TestTelemetryMirrorsAccounting(t *testing.T) {
 	if got := snap.CounterValue("core.accesses", ""); got != acct.Accesses {
 		t.Fatalf("accesses = %d, want %d", got, acct.Accesses)
 	}
+	// Windowed flow rates ride along: present in the snapshot and, with
+	// all accesses recorded just now, strictly positive.
+	tel.RecordQuery()
+	snap = reg.Snapshot()
+	for _, name := range []string{
+		"core.bypass_bytes_rate", "core.fetch_bytes_rate",
+		"core.cache_bytes_rate", "core.query_rate",
+	} {
+		if !snap.HasRate(name) {
+			t.Fatalf("snapshot missing rate %s", name)
+		}
+		if snap.RateValue(name) <= 0 {
+			t.Fatalf("rate %s = %f, want > 0", name, snap.RateValue(name))
+		}
+	}
 }
 
 func TestTelemetryNilSafe(t *testing.T) {
 	var tel *Telemetry
 	tel.RecordAccess("p", Object{}, 1, Hit)
+	tel.RecordQuery()
 	tel.RecordEvictions("p", 3)
 	tel.EpisodeOpened()
 	tel.EpisodeClosed()

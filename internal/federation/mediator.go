@@ -149,6 +149,7 @@ func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryRepor
 	m.t++
 	m.acct.Queries++
 	m.queriesMet.Add(1)
+	m.tel.RecordQuery()
 	rep := &QueryReport{SQL: sql, Seq: m.t, Result: res}
 	policyName := "none"
 	if m.cfg.Policy != nil {

@@ -17,6 +17,14 @@ func TestHotPathAllocFree(t *testing.T) {
 	cf.Add("site", 1) // materialize the labels once
 	hf.Observe("site", 1)
 
+	rt := r.Rate("rate")
+	rt.Add(1) // materialize the first slot once
+
+	// Tracing disabled (nil tracer / nil sink): span start/end must
+	// stay free — daemons run untraced by default.
+	var off *Tracer
+	parent := TraceContext{TraceID: 1, SpanID: 2}
+
 	cases := []struct {
 		name string
 		fn   func()
@@ -26,6 +34,10 @@ func TestHotPathAllocFree(t *testing.T) {
 		{"Histogram.Observe", func() { h.Observe(12345) }},
 		{"CounterFamily.Add", func() { cf.Add("site", 1) }},
 		{"HistogramFamily.Observe", func() { hf.Observe("site", 77) }},
+		{"Rate.Add", func() { rt.Add(64) }},
+		{"Rate.PerSecond", func() { rt.PerSecond() }},
+		{"disabled Root+End", func() { off.Root("q").End() }},
+		{"disabled Child+End", func() { off.Child(parent, "leg").End() }},
 	}
 	for _, tc := range cases {
 		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
@@ -75,6 +87,43 @@ func BenchmarkHistogramFamilyObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f.Observe("photo.sdss.org", int64(i))
+	}
+}
+
+func BenchmarkRateAdd(b *testing.B) {
+	r := NewRate(DefaultRateInterval, DefaultRateSlots)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(1)
+	}
+}
+
+func BenchmarkRateAddParallel(b *testing.B) {
+	r := NewRate(DefaultRateInterval, DefaultRateSlots)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add(1)
+		}
+	})
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	parent := TraceContext{TraceID: 1, SpanID: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Child(parent, "leg").End()
+	}
+}
+
+func BenchmarkTracedSpanRing(b *testing.B) {
+	tr := NewTracer(NewRing(1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Root("q")
+		tr.Child(root.Context(), "leg").End()
+		root.End()
 	}
 }
 

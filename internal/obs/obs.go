@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -253,6 +254,7 @@ type Registry struct {
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
+	rates     map[string]*Rate
 	cfamilies map[string]*CounterFamily
 	hfamilies map[string]*HistogramFamily
 }
@@ -263,6 +265,7 @@ func NewRegistry() *Registry {
 		counters:  make(map[string]*Counter),
 		gauges:    make(map[string]*Gauge),
 		hists:     make(map[string]*Histogram),
+		rates:     make(map[string]*Rate),
 		cfamilies: make(map[string]*CounterFamily),
 		hfamilies: make(map[string]*HistogramFamily),
 	}
@@ -316,6 +319,29 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Rate returns the named sliding-window rate tracker, creating it
+// with the default window (DefaultRateSlots × DefaultRateInterval) on
+// first use.
+func (r *Registry) Rate(name string) *Rate {
+	return r.RateWindowed(name, DefaultRateInterval, DefaultRateSlots)
+}
+
+// RateWindowed returns the named rate tracker, creating it with the
+// given slot layout on first use. The first creation fixes the window.
+func (r *Registry) RateWindowed(name string, interval time.Duration, slots int) *Rate {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt := r.rates[name]
+	if rt == nil {
+		rt = NewRate(interval, slots)
+		r.rates[name] = rt
+	}
+	return rt
 }
 
 // CounterFamily returns the named counter family, creating it on

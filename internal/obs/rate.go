@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Default rate-window layout: 15 one-second slots, so PerSecond
+// reflects roughly the last 15 seconds with one-second resolution.
+const (
+	DefaultRateInterval = time.Second
+	DefaultRateSlots    = 15
+)
+
+// Rate is a sliding-window rate tracker: a ring of fixed time slots,
+// each an atomic sum of the values added during its interval. It is
+// the operational analogue of the paper's rate profiles (eq. 3): where
+// the cache core estimates long-run per-object byte rates, Rate tracks
+// the recent fleet-level D_S/D_L/D_C and query rates a scraper wants.
+//
+// Add is lock-free and allocation-free (hot-path safe); PerSecond is a
+// scan over the (small, fixed) ring. A nil *Rate is a valid no-op.
+type Rate struct {
+	interval int64 // slot width, ns
+	slots    []rateSlot
+	now      func() int64 // nanosecond clock; replaceable in tests
+}
+
+type rateSlot struct {
+	epoch atomic.Int64 // slot index since the unix epoch (time/interval)
+	sum   atomic.Int64
+}
+
+// NewRate builds a tracker over `slots` intervals of the given width.
+// Degenerate parameters are clamped to the defaults.
+func NewRate(interval time.Duration, slots int) *Rate {
+	if interval <= 0 {
+		interval = DefaultRateInterval
+	}
+	if slots < 2 {
+		slots = DefaultRateSlots
+	}
+	return &Rate{
+		interval: int64(interval),
+		slots:    make([]rateSlot, slots),
+		now:      func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Add records n at the current time. No-op on a nil rate.
+//
+// A slot is lazily recycled when its ring position comes around again:
+// the first adder of the new epoch CASes the epoch forward and resets
+// the sum. An add racing the reset can lose itself or a concurrent
+// add's contribution to the fresh slot — an acceptable (and bounded)
+// imprecision for telemetry, bought for a lock-free hot path.
+func (r *Rate) Add(n int64) {
+	if r == nil {
+		return
+	}
+	epoch := r.now() / r.interval
+	s := &r.slots[int(epoch%int64(len(r.slots)))]
+	if e := s.epoch.Load(); e != epoch {
+		if s.epoch.CompareAndSwap(e, epoch) {
+			s.sum.Store(0)
+		}
+	}
+	s.sum.Add(n)
+}
+
+// PerSecond returns the windowed rate: the sum over live slots divided
+// by the wall time they cover. The current (partial) slot contributes
+// its elapsed fraction, so the rate responds immediately instead of
+// lagging one full slot. Returns 0 on a nil or never-touched rate.
+func (r *Rate) PerSecond() float64 {
+	if r == nil {
+		return 0
+	}
+	now := r.now()
+	cur := now / r.interval
+	oldest := cur - int64(len(r.slots)) + 1
+	var total int64
+	var covered int64 // ns of window the summed slots span
+	for i := range r.slots {
+		s := &r.slots[i]
+		e := s.epoch.Load()
+		if e < oldest || e > cur {
+			continue // stale (not yet recycled) or empty slot
+		}
+		total += s.sum.Load()
+		if e == cur {
+			if part := now % r.interval; part > 0 {
+				covered += part
+			}
+		} else {
+			covered += r.interval
+		}
+	}
+	if covered <= 0 {
+		return 0
+	}
+	return float64(total) / (float64(covered) / float64(time.Second))
+}
+
+// WindowSeconds returns the full window width the tracker can cover.
+func (r *Rate) WindowSeconds() float64 {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.interval * int64(len(r.slots))).Seconds()
+}

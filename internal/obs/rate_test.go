@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeRate returns a tracker with a controllable clock starting at t0.
+func fakeRate(interval time.Duration, slots int, t0 int64) (*Rate, *int64) {
+	r := NewRate(interval, slots)
+	now := t0
+	r.now = func() int64 { return now }
+	return r, &now
+}
+
+func TestRatePartialSlot(t *testing.T) {
+	// 500ms into the first second: 1000 units → 2000/s.
+	r, now := fakeRate(time.Second, 4, int64(10*time.Second))
+	*now += int64(500 * time.Millisecond)
+	r.Add(1000)
+	if got := r.PerSecond(); got != 2000 {
+		t.Fatalf("rate = %f, want 2000", got)
+	}
+}
+
+func TestRateAcrossSlots(t *testing.T) {
+	r, now := fakeRate(time.Second, 4, int64(100*time.Second))
+	r.Add(100) // lands exactly on a slot boundary: a complete slot later
+	*now += int64(time.Second)
+	r.Add(300)
+	*now += int64(time.Second) // both slots now complete
+	// Two full seconds covered, 400 units. (The new current slot is
+	// empty and holds a stale epoch, so it contributes nothing.)
+	if got := r.PerSecond(); got != 200 {
+		t.Fatalf("rate = %f, want 200", got)
+	}
+}
+
+func TestRateWindowExpiry(t *testing.T) {
+	r, now := fakeRate(time.Second, 3, int64(50*time.Second))
+	r.Add(900)
+	*now += int64(10 * time.Second) // far beyond the 3s window
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("expired rate = %f, want 0", got)
+	}
+	// The stale slot recycles on the next add.
+	r.Add(30)
+	*now += int64(time.Second)
+	if got := r.PerSecond(); got != 30 {
+		t.Fatalf("recycled rate = %f, want 30", got)
+	}
+}
+
+func TestRateNilAndDegenerate(t *testing.T) {
+	var r *Rate
+	r.Add(5)
+	if r.PerSecond() != 0 || r.WindowSeconds() != 0 {
+		t.Fatal("nil rate must be a no-op")
+	}
+	d := NewRate(0, 0)
+	if d.WindowSeconds() != (DefaultRateInterval * DefaultRateSlots).Seconds() {
+		t.Fatalf("degenerate params not clamped: window = %f", d.WindowSeconds())
+	}
+	if NewRate(time.Second, 4).PerSecond() != 0 {
+		t.Fatal("untouched rate must read 0")
+	}
+}
+
+func TestRateConcurrent(t *testing.T) {
+	r := NewRate(time.Second, DefaultRateSlots)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Add(1)
+				if j%100 == 0 {
+					r.PerSecond()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.PerSecond() <= 0 {
+		t.Fatal("concurrent adds lost entirely")
+	}
+}
+
+func TestRegistryRate(t *testing.T) {
+	r := NewRegistry()
+	rt := r.Rate("core.query_rate")
+	if r.Rate("core.query_rate") != rt {
+		t.Fatal("rate handle not stable")
+	}
+	rt.Add(10)
+	s := r.Snapshot()
+	if !s.HasRate("core.query_rate") {
+		t.Fatalf("snapshot missing rate: %+v", s.Rates)
+	}
+	if s.RateValue("core.query_rate") < 0 {
+		t.Fatal("negative rate")
+	}
+	if s.RateValue("absent") != 0 || s.HasRate("absent") {
+		t.Fatal("missing rate should read 0")
+	}
+	// Nil registry safety.
+	var nilReg *Registry
+	nilReg.Rate("x").Add(1)
+}

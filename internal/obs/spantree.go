@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReadEvents decodes a JSONL span log (one Event per line, as written
+// by the JSONL sink). Blank lines are skipped; a malformed line is an
+// error naming its position.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("obs: span log line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SpanNode is one span in a reconstructed trace tree.
+type SpanNode struct {
+	Event
+	Children []*SpanNode
+}
+
+// TraceTree is one causal tree reconstructed from merged span logs —
+// typically one client query spanning byproxyd and every bydbd it
+// touched.
+type TraceTree struct {
+	// ID is the shared trace id (16 hex digits).
+	ID string
+	// Roots are the spans with no parent in the trace (a fully merged
+	// healthy trace has exactly one, the proxy's per-query root).
+	Roots []*SpanNode
+	// Orphans counts spans whose parent id is set but missing from the
+	// merged logs (truncated or partial log set). Orphaned spans are
+	// promoted to Roots so no data is hidden.
+	Orphans int
+	// Spans is the total span count in the tree.
+	Spans int
+}
+
+// BuildTraces groups traced events by trace id and resolves each
+// parent pointer into a tree. Untraced events (no trace id) are
+// ignored. Traces are ordered by their earliest span start; children
+// within a span are ordered by start time.
+func BuildTraces(events []Event) []TraceTree {
+	byTrace := map[string][]Event{}
+	for _, e := range events {
+		if e.Trace == "" {
+			continue
+		}
+		byTrace[e.Trace] = append(byTrace[e.Trace], e)
+	}
+
+	out := make([]TraceTree, 0, len(byTrace))
+	for id, evs := range byTrace {
+		tree := TraceTree{ID: id, Spans: len(evs)}
+		nodes := make(map[string]*SpanNode, len(evs))
+		order := make([]*SpanNode, 0, len(evs))
+		for _, e := range evs {
+			n := &SpanNode{Event: e}
+			// Duplicate span ids (a re-emitted log) keep the first copy.
+			if e.Span == "" || nodes[e.Span] == nil {
+				if e.Span != "" {
+					nodes[e.Span] = n
+				}
+				order = append(order, n)
+			}
+		}
+		for _, n := range order {
+			switch {
+			case n.Parent == "":
+				tree.Roots = append(tree.Roots, n)
+			case nodes[n.Parent] != nil && nodes[n.Parent] != n:
+				p := nodes[n.Parent]
+				p.Children = append(p.Children, n)
+			default:
+				tree.Orphans++
+				tree.Roots = append(tree.Roots, n)
+			}
+		}
+		tree.Spans = len(order)
+		var sortChildren func(n *SpanNode)
+		sortChildren = func(n *SpanNode) {
+			sort.SliceStable(n.Children, func(i, j int) bool {
+				return n.Children[i].Time.Before(n.Children[j].Time)
+			})
+			for _, c := range n.Children {
+				sortChildren(c)
+			}
+		}
+		sort.SliceStable(tree.Roots, func(i, j int) bool {
+			return tree.Roots[i].Time.Before(tree.Roots[j].Time)
+		})
+		for _, r := range tree.Roots {
+			sortChildren(r)
+		}
+		out = append(out, tree)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := out[i].start(), out[j].start()
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (t TraceTree) start() (min time.Time) {
+	for i, r := range t.Roots {
+		if i == 0 || r.Time.Before(min) {
+			min = r.Time
+		}
+	}
+	return min
+}
+
+// Bounds returns the trace's earliest span start and its total extent
+// (latest span end minus earliest start) — the time axis of a
+// waterfall rendering.
+func (t TraceTree) Bounds() (start time.Time, total time.Duration) {
+	start = t.start()
+	var end time.Time
+	t.Walk(func(n *SpanNode, _ int) {
+		if n.Time.Before(start) {
+			start = n.Time
+		}
+		if e := n.Time.Add(n.Duration); e.After(end) {
+			end = e
+		}
+	})
+	if !end.IsZero() {
+		total = end.Sub(start)
+	}
+	return start, total
+}
+
+// Walk visits every span in the tree depth-first, with its depth
+// (roots are depth 0).
+func (t TraceTree) Walk(fn func(n *SpanNode, depth int)) {
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// emitTrace writes a two-level trace into the sink and returns its
+// root context.
+func emitTrace(tr *Tracer) TraceContext {
+	root := tr.Root("proxy.query")
+	m := tr.Child(root.Context(), "proxy.mediate")
+	d := tr.Child(root.Context(), "proxy.decide", A("yield", "100"))
+	x := tr.Child(d.Context(), "dbnode.execute")
+	x.End()
+	d.End()
+	m.End()
+	root.End()
+	return root.Context()
+}
+
+func TestReadEventsAndBuildTraces(t *testing.T) {
+	// Two daemons logging into separate JSONL buffers, one shared
+	// trace; merge must produce one connected tree.
+	var bufA, bufB bytes.Buffer
+	trA := NewTracer(NewJSONL(&bufA))
+	trB := NewTracer(NewJSONL(&bufB))
+
+	root := trA.Root("proxy.query")
+	leg := trA.Child(root.Context(), "proxy.fetch")
+	remote := trB.Child(leg.Context(), "dbnode.fetch", A("object", "edr/photoobj"))
+	remote.End(A("size", "42"))
+	leg.End()
+	root.End()
+
+	evsA, err := ReadEvents(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evsB, err := ReadEvents(&bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := BuildTraces(append(evsA, evsB...))
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tree := traces[0]
+	if tree.ID != root.Context().TraceHex() {
+		t.Fatalf("trace id = %q", tree.ID)
+	}
+	if len(tree.Roots) != 1 || tree.Orphans != 0 || tree.Spans != 3 {
+		t.Fatalf("tree = roots %d orphans %d spans %d", len(tree.Roots), tree.Orphans, tree.Spans)
+	}
+	r := tree.Roots[0]
+	if r.Name != "proxy.query" || len(r.Children) != 1 {
+		t.Fatalf("root = %+v", r)
+	}
+	if r.Children[0].Name != "proxy.fetch" || len(r.Children[0].Children) != 1 {
+		t.Fatalf("mid = %+v", r.Children[0])
+	}
+	if got := r.Children[0].Children[0]; got.Name != "dbnode.fetch" || got.AttrValue("size") != "42" {
+		t.Fatalf("leaf = %+v", got)
+	}
+}
+
+func TestBuildTracesMultipleAndOrphans(t *testing.T) {
+	ring := NewRing(64)
+	tr := NewTracer(ring)
+	c1 := emitTrace(tr)
+	time.Sleep(time.Millisecond) // order traces by start time
+	c2 := emitTrace(tr)
+
+	evs := ring.Events()
+	// An orphan: parent id set but absent from the logs.
+	evs = append(evs, Event{
+		Time: time.Now(), Name: "lost",
+		Trace: c2.TraceHex(), Span: FormatID(NewID()), Parent: FormatID(NewID()),
+	})
+	// An untraced event: ignored entirely.
+	evs = append(evs, Event{Time: time.Now(), Name: "untraced"})
+
+	traces := BuildTraces(evs)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	if traces[0].ID != c1.TraceHex() || traces[1].ID != c2.TraceHex() {
+		t.Fatal("traces not ordered by start time")
+	}
+	if traces[0].Orphans != 0 || traces[0].Spans != 4 {
+		t.Fatalf("trace 1 = %+v", traces[0])
+	}
+	if traces[1].Orphans != 1 || len(traces[1].Roots) != 2 {
+		t.Fatalf("orphan not promoted to root: %+v", traces[1])
+	}
+
+	var names []string
+	traces[0].Walk(func(n *SpanNode, depth int) {
+		names = append(names, strings.Repeat(">", depth)+n.Name)
+	})
+	want := "proxy.query >proxy.mediate >proxy.decide >>dbnode.execute"
+	// mediate and decide order depends on start times (same ns tick is
+	// possible); accept either sibling order.
+	alt := "proxy.query >proxy.decide >>dbnode.execute >proxy.mediate"
+	if got := strings.Join(names, " "); got != want && got != alt {
+		t.Fatalf("walk = %q", got)
+	}
+}
+
+func TestReadEventsErrors(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"name\":\"ok\"}\n\nnot json\n")); err == nil {
+		t.Fatal("malformed line should error")
+	}
+	evs, err := ReadEvents(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank log = %v, %v", evs, err)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the compact cross-process trace identity carried on
+// wire frames: the 64-bit trace a request belongs to and the span that
+// is its parent on the far side. The zero TraceContext means
+// "untraced" — frames carrying it are byte-identical to pre-tracing
+// frames, so old and new daemons interoperate.
+type TraceContext struct {
+	// TraceID identifies the whole causal tree (one client query).
+	TraceID uint64
+	// SpanID identifies the span that spawned this context; a span
+	// opened under this context uses it as its parent.
+	SpanID uint64
+}
+
+// Valid reports whether the context identifies a trace.
+func (c TraceContext) Valid() bool { return c.TraceID != 0 }
+
+// TraceHex returns the trace id as 16 hex digits ("" when untraced),
+// the wire and JSONL encoding.
+func (c TraceContext) TraceHex() string { return FormatID(c.TraceID) }
+
+// SpanHex returns the span id as 16 hex digits ("" when untraced).
+func (c TraceContext) SpanHex() string { return FormatID(c.SpanID) }
+
+// idState walks a full-period Weyl sequence (odd increment) from a
+// per-process random base, so ids are unique within a process and
+// collide across processes only with ~2^-64 probability per pair.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewID mints a nonzero process-unique 64-bit id. Lock-free and
+// allocation-free: safe on hot paths.
+func NewID() uint64 {
+	for {
+		if id := idState.Add(0x9E3779B97F4A7C15); id != 0 {
+			return id
+		}
+	}
+}
+
+// FormatID encodes an id as 16 lowercase hex digits; zero (no id)
+// encodes as "".
+func FormatID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	var buf [16]byte
+	const hex = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		buf[i] = hex[id&0xF]
+		id >>= 4
+	}
+	return string(buf[:])
+}
+
+// ParseID decodes FormatID's output; malformed or empty input yields 0
+// (untraced), never an error — a corrupt trace id must not fail the
+// request it rode in on.
+func ParseID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

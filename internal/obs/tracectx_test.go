@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestIDFormatParseRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0), NewID()} {
+		s := FormatID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatID(%d) = %q, want 16 hex digits", id, s)
+		}
+		if got := ParseID(s); got != id {
+			t.Fatalf("round trip %d → %q → %d", id, s, got)
+		}
+	}
+	if FormatID(0) != "" {
+		t.Fatal("zero id must encode as empty (untraced)")
+	}
+	for _, bad := range []string{"", "zzzz", "12345678901234567890", "-1"} {
+		if ParseID(bad) != 0 {
+			t.Fatalf("ParseID(%q) should degrade to 0", bad)
+		}
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id %d duplicate or zero at iteration %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRootChildPropagation(t *testing.T) {
+	ring := NewRing(8)
+	tr := NewTracer(ring)
+
+	root := tr.Root("q")
+	rctx := root.Context()
+	if !rctx.Valid() || rctx.SpanID == 0 {
+		t.Fatalf("root context = %+v", rctx)
+	}
+	child := tr.Child(rctx, "leg")
+	cctx := child.Context()
+	if cctx.TraceID != rctx.TraceID {
+		t.Fatal("child must share the trace id")
+	}
+	if cctx.SpanID == rctx.SpanID || cctx.SpanID == 0 {
+		t.Fatalf("child span id = %d", cctx.SpanID)
+	}
+	grand := tr.Child(cctx, "sub")
+	grand.End()
+	child.End()
+	root.End()
+
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	if byName["q"].Parent != "" {
+		t.Fatal("root must have no parent")
+	}
+	if byName["leg"].Parent != byName["q"].Span {
+		t.Fatal("child parent must be the root span id")
+	}
+	if byName["sub"].Parent != byName["leg"].Span {
+		t.Fatal("grandchild parent must be the child span id")
+	}
+	for _, e := range evs {
+		if e.Trace != rctx.TraceHex() {
+			t.Fatalf("event %s trace = %q, want %q", e.Name, e.Trace, rctx.TraceHex())
+		}
+	}
+}
+
+func TestChildOfZeroParentMintsTrace(t *testing.T) {
+	ring := NewRing(2)
+	tr := NewTracer(ring)
+	sp := tr.Child(TraceContext{}, "standalone")
+	if !sp.Context().Valid() {
+		t.Fatal("zero parent should degrade to a fresh root")
+	}
+	sp.End()
+	if ev := ring.Events()[0]; ev.Parent != "" || ev.Trace == "" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestDisabledTracerSpansAreZero(t *testing.T) {
+	var tr *Tracer
+	if tr.Root("r").Context().Valid() || tr.Child(TraceContext{TraceID: 1, SpanID: 2}, "c").Context().Valid() {
+		t.Fatal("disabled tracer must hand out zero contexts")
+	}
+	tr.Root("r").End() // must not panic
+}
+
+func TestEventAttrValue(t *testing.T) {
+	e := Event{Attrs: []Attr{A("k", "v"), A("x", "y")}}
+	if e.AttrValue("x") != "y" || e.AttrValue("absent") != "" {
+		t.Fatalf("AttrValue lookup broken: %+v", e)
+	}
+}
+
+// closeRecorder is an io.WriteCloser recording whether Close ran.
+type closeRecorder struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+func TestJSONLClose(t *testing.T) {
+	rec := &closeRecorder{}
+	j := NewJSONL(rec)
+	NewTracer(j).Root("q").End()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.closed {
+		t.Fatal("Close must close the underlying writer")
+	}
+	// A plain writer (no Closer) and a nil sink are both fine.
+	if err := NewJSONL(&bytes.Buffer{}).Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilJ *JSONL
+	if err := nilJ.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ev Event
+	line := strings.TrimSpace(rec.String())
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("span line %q: %v", line, err)
+	}
+	if ev.Trace == "" || ev.Span == "" {
+		t.Fatalf("traced span must serialize its ids: %+v", ev)
+	}
+}

@@ -8,11 +8,17 @@ import (
 )
 
 // Event is one telemetry event: a point event or a completed span
-// (Duration > 0). Attrs are flat key/value pairs.
+// (Duration > 0). Attrs are flat key/value pairs. Trace/Span/Parent
+// carry the distributed trace identity as 16-hex-digit ids; all three
+// are empty on untraced events, and Parent is empty on a trace's root
+// span.
 type Event struct {
 	Time     time.Time     `json:"time"`
 	Name     string        `json:"name"`
 	Duration time.Duration `json:"duration_ns,omitempty"`
+	Trace    string        `json:"trace,omitempty"`
+	Span     string        `json:"span,omitempty"`
+	Parent   string        `json:"parent,omitempty"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
 }
 
@@ -24,6 +30,16 @@ type Attr struct {
 
 // A creates an attribute (shorthand for literals at call sites).
 func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// AttrValue returns the value of the named attribute ("" when absent).
+func (e Event) AttrValue(key string) string {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
 
 // Sink consumes events. Implementations must be safe for concurrent
 // Emit calls.
@@ -52,7 +68,9 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 	t.sink.Emit(Event{Time: time.Now(), Name: name, Attrs: attrs})
 }
 
-// Start opens a span; End emits it with the measured duration.
+// Start opens an anonymous span (no trace identity); End emits it with
+// the measured duration. Use Root/Child for spans that participate in
+// distributed traces.
 func (t *Tracer) Start(name string, attrs ...Attr) Span {
 	if !t.Enabled() {
 		return Span{}
@@ -60,13 +78,53 @@ func (t *Tracer) Start(name string, attrs ...Attr) Span {
 	return Span{t: t, name: name, attrs: attrs, t0: time.Now()}
 }
 
-// Span is an in-flight operation opened by Tracer.Start.
-type Span struct {
-	t     *Tracer
-	name  string
-	attrs []Attr
-	t0    time.Time
+// Root opens a span that starts a new trace: a fresh TraceID with a
+// fresh root SpanID and no parent. The proxy mints one per client
+// query.
+func (t *Tracer) Root(name string, attrs ...Attr) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	id := NewID()
+	return Span{
+		t: t, name: name, attrs: attrs, t0: time.Now(),
+		ctx: TraceContext{TraceID: id, SpanID: NewID()},
+	}
 }
+
+// Child opens a span continuing parent: same TraceID, fresh SpanID,
+// parented under parent.SpanID. A zero (untraced) parent degrades to
+// Root, so daemons receiving untraced frames still produce local
+// trees.
+func (t *Tracer) Child(parent TraceContext, name string, attrs ...Attr) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	if !parent.Valid() {
+		return t.Root(name, attrs...)
+	}
+	return Span{
+		t: t, name: name, attrs: attrs, t0: time.Now(),
+		ctx:    TraceContext{TraceID: parent.TraceID, SpanID: NewID()},
+		parent: parent.SpanID,
+	}
+}
+
+// Span is an in-flight operation opened by Tracer.Start, Root, or
+// Child.
+type Span struct {
+	t      *Tracer
+	name   string
+	attrs  []Attr
+	t0     time.Time
+	ctx    TraceContext
+	parent uint64
+}
+
+// Context returns the span's own trace identity, for propagation to
+// children (locally via Child, remotely via wire frames). Zero for
+// anonymous and no-op spans.
+func (s Span) Context() TraceContext { return s.ctx }
 
 // End emits the span event. Safe on the zero Span.
 func (s Span) End(extra ...Attr) {
@@ -81,6 +139,9 @@ func (s Span) End(extra ...Attr) {
 		Time:     s.t0,
 		Name:     s.name,
 		Duration: time.Since(s.t0),
+		Trace:    FormatID(s.ctx.TraceID),
+		Span:     FormatID(s.ctx.SpanID),
+		Parent:   FormatID(s.parent),
 		Attrs:    attrs,
 	})
 }
@@ -129,14 +190,15 @@ func (r *Ring) Events() []Event {
 }
 
 // JSONL is a sink writing one JSON object per event line, for
-// offline analysis of daemon runs (byproxyd -trace-out).
+// offline analysis of daemon runs (byproxyd/bydbd -trace-out).
 type JSONL struct {
 	mu  sync.Mutex
+	w   io.Writer
 	enc *json.Encoder
 }
 
 // NewJSONL wraps a writer.
-func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w, enc: json.NewEncoder(w)} }
 
 // Emit implements Sink. Encoding errors are dropped: telemetry must
 // never fail the instrumented operation.
@@ -144,4 +206,20 @@ func (j *JSONL) Emit(e Event) {
 	j.mu.Lock()
 	j.enc.Encode(e) //nolint:errcheck
 	j.mu.Unlock()
+}
+
+// Close closes the underlying writer when it is an io.Closer, so span
+// logs are not truncated on daemon shutdown. Emit calls racing Close
+// serialize on the sink mutex; events after Close are dropped by the
+// closed writer.
+func (j *JSONL) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }

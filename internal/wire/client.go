@@ -3,6 +3,8 @@ package wire
 import (
 	"fmt"
 	"net"
+
+	"bypassyield/internal/obs"
 )
 
 // Client is a synchronous connection to a proxy (or directly to a
@@ -25,7 +27,20 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Query sends SQL and returns the result.
 func (c *Client) Query(sql string) (*ResultMsg, error) {
-	if _, err := WriteFrame(c.conn, MsgQuery, QueryMsg{SQL: sql}); err != nil {
+	return c.QueryTraced(sql, obs.TraceContext{})
+}
+
+// QueryTraced is Query with a client-side trace context: the proxy
+// continues the caller's trace instead of minting a fresh root, so a
+// driver program's own spans and the federation's spans merge into
+// one tree. A zero ctx is equivalent to Query.
+func (c *Client) QueryTraced(sql string, ctx obs.TraceContext) (*ResultMsg, error) {
+	q := QueryMsg{
+		SQL:        sql,
+		TraceID:    obs.FormatID(ctx.TraceID),
+		ParentSpan: obs.FormatID(ctx.SpanID),
+	}
+	if _, err := WriteFrame(c.conn, MsgQuery, q); err != nil {
 		return nil, err
 	}
 	t, body, _, err := ReadFrame(c.conn)

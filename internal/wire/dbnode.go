@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -30,6 +31,7 @@ type DBNode struct {
 	db     *engine.DB
 	ln     net.Listener
 	logf   func(format string, args ...any)
+	tracer *obs.Tracer
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
@@ -66,6 +68,11 @@ func (n *DBNode) Obs() *obs.Registry { return n.reg }
 
 // SetLogf replaces the node's logger (tests silence it).
 func (n *DBNode) SetLogf(f func(string, ...any)) { n.logf = f }
+
+// SetTracer attaches a span tracer. Frames carrying a trace context
+// get dbnode.execute / dbnode.fetch spans joined to the remote trace;
+// untraced frames emit nothing. Nil detaches.
+func (n *DBNode) SetTracer(t *obs.Tracer) { n.tracer = t }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free
 // port) and returns the bound address.
@@ -129,12 +136,18 @@ func (n *DBNode) serveConn(conn net.Conn) {
 				n.sendErr(conn, err)
 				continue
 			}
+			span := n.continueSpan(q.TraceContext(), "dbnode.execute")
 			res, err := n.execute(q.SQL)
 			if err != nil {
+				span.End(obs.A("error", err.Error()))
 				n.sendErr(conn, err)
 				continue
 			}
 			n.queries.Add(1)
+			// End before replying: once the proxy sees the result, the
+			// node's span log line is already flushed.
+			span.End(obs.A("bytes", strconv.FormatInt(res.Bytes, 10)),
+				obs.A("rows", strconv.FormatInt(res.Rows, 10)))
 			n.send(conn, MsgResult, res)
 		case MsgFetch:
 			var f FetchMsg
@@ -142,12 +155,16 @@ func (n *DBNode) serveConn(conn net.Conn) {
 				n.sendErr(conn, err)
 				continue
 			}
+			span := n.continueSpan(f.TraceContext(), "dbnode.fetch",
+				obs.A("object", f.Object))
 			size, err := n.objectSize(f.Object)
 			if err != nil {
+				span.End(obs.A("error", err.Error()))
 				n.sendErr(conn, err)
 				continue
 			}
 			n.fetches.Add(1)
+			span.End(obs.A("size", strconv.FormatInt(size, 10)))
 			n.send(conn, MsgFetchAck, FetchAckMsg{Object: f.Object, Size: size})
 		case MsgMetrics:
 			n.send(conn, MsgMetricsResult, MetricsResultMsg{
@@ -158,6 +175,17 @@ func (n *DBNode) serveConn(conn net.Conn) {
 			n.sendErr(conn, fmt.Errorf("dbnode: unexpected message type %s", t))
 		}
 	}
+}
+
+// continueSpan joins an incoming frame's trace, tagging the span with
+// this node's site. Untraced frames yield a no-op span — the node
+// does not start local root traces of its own.
+func (n *DBNode) continueSpan(ctx obs.TraceContext, name string, attrs ...obs.Attr) obs.Span {
+	if n.tracer == nil || !ctx.Valid() {
+		return obs.Span{}
+	}
+	attrs = append(attrs, obs.A("site", n.Site))
+	return n.tracer.Child(ctx, name, attrs...)
 }
 
 // send writes one frame, counting transport bytes.

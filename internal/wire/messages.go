@@ -5,9 +5,20 @@ import (
 	"bypassyield/internal/obs"
 )
 
-// QueryMsg carries a SQL statement.
+// QueryMsg carries a SQL statement. TraceID/ParentSpan propagate the
+// distributed trace context (16-hex-digit obs ids); both empty means
+// untraced, which keeps the frame byte-identical to the pre-tracing
+// protocol — old clients and nodes interoperate unchanged.
 type QueryMsg struct {
-	SQL string `json:"sql"`
+	SQL        string `json:"sql"`
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+}
+
+// TraceContext decodes the frame's trace fields (zero when untraced
+// or malformed).
+func (q QueryMsg) TraceContext() obs.TraceContext {
+	return obs.TraceContext{TraceID: obs.ParseID(q.TraceID), SpanID: obs.ParseID(q.ParentSpan)}
 }
 
 // ResultMsg returns an execution result plus, from the proxy, the
@@ -39,9 +50,18 @@ type ErrorMsg struct {
 	Message string `json:"message"`
 }
 
-// FetchMsg asks a node for a whole object.
+// FetchMsg asks a node for a whole object. The trace fields follow
+// QueryMsg's convention (empty = untraced).
 type FetchMsg struct {
-	Object string `json:"object"`
+	Object     string `json:"object"`
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+}
+
+// TraceContext decodes the frame's trace fields (zero when untraced
+// or malformed).
+func (f FetchMsg) TraceContext() obs.TraceContext {
+	return obs.TraceContext{TraceID: obs.ParseID(f.TraceID), SpanID: obs.ParseID(f.ParentSpan)}
 }
 
 // FetchAckMsg acknowledges a fetch with the object's logical size —

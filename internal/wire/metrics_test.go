@@ -244,10 +244,10 @@ func TestProxyReconnectRetry(t *testing.T) {
 	// fake node then kills conn 1 on its next request, so RPC 2 fails
 	// the read on a cached connection, retries over a fresh dial, and
 	// succeeds.
-	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto); err != nil {
+	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto, obs.TraceContext{}); err != nil {
 		t.Fatalf("first ship failed: %v", err)
 	}
-	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto); err != nil {
+	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto, obs.TraceContext{}); err != nil {
 		t.Fatalf("retry should have recovered: %v", err)
 	}
 	snap := p.Obs().Snapshot()
@@ -258,7 +258,7 @@ func TestProxyReconnectRetry(t *testing.T) {
 		t.Fatalf("dials = %d, want 2", snap.CounterValue("wire.node_dials", catalog.SitePhoto))
 	}
 	// The recovered connection stays cached: another RPC, no new dial.
-	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto); err != nil {
+	if err := p.shipSubquery("select ra from photoobj", catalog.SitePhoto, obs.TraceContext{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Obs().Snapshot().CounterValue("wire.node_dials", catalog.SitePhoto); got != 2 {
@@ -298,13 +298,44 @@ func TestProxyQuerySpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Query("not sql") //nolint:errcheck // error path should emit a span too
-	evs := ring.Events()
-	if len(evs) != 2 {
-		t.Fatalf("spans = %d, want 2", len(evs))
+
+	trees := obs.BuildTraces(ring.Events())
+	if len(trees) != 2 {
+		t.Fatalf("traces = %d, want 2 (one per client query)", len(trees))
 	}
-	for _, ev := range evs {
-		if ev.Name != "proxy.query" || ev.Duration <= 0 {
-			t.Fatalf("span = %+v", ev)
+	for _, tree := range trees {
+		if tree.Orphans != 0 || len(tree.Roots) != 1 {
+			t.Fatalf("tree %s: orphans=%d roots=%d", tree.ID, tree.Orphans, len(tree.Roots))
+		}
+		if root := tree.Roots[0]; root.Name != "proxy.query" || root.Duration <= 0 {
+			t.Fatalf("root span = %+v", root.Event)
+		}
+	}
+	// The successful query's trace carries the mediation legs as
+	// children of the root; the parse failure's trace is a bare root
+	// with an error attr.
+	legs := map[string]int{}
+	var bare *obs.SpanNode
+	for _, tree := range trees {
+		if len(tree.Roots[0].Children) == 0 {
+			bare = tree.Roots[0]
+			continue
+		}
+		for _, ch := range tree.Roots[0].Children {
+			legs[ch.Name]++
+			if ch.Parent != tree.Roots[0].Span {
+				t.Fatalf("leg %s has parent %q, want root %q", ch.Name, ch.Parent, tree.Roots[0].Span)
+			}
+		}
+	}
+	if bare == nil || bare.AttrValue("error") == "" {
+		t.Fatalf("parse failure should leave a bare root with an error attr, got %+v", bare)
+	}
+	// Tables granularity over one table: mediate once, decide once
+	// (bypass), and one subquery leg for the bypassed table.
+	for leg, want := range map[string]int{"proxy.mediate": 1, "proxy.decide": 1, "proxy.subquery": 1} {
+		if legs[leg] != want {
+			t.Fatalf("legs = %v, want %d %s", legs, want, leg)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -214,14 +215,20 @@ func (p *Proxy) serveConn(conn net.Conn) {
 				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
 				continue
 			}
-			span := p.tracer.Start("proxy.query")
-			res, err := p.handleQuery(q.SQL)
+			// Root span per client query — or a continuation when the
+			// client shipped its own trace context (Child degrades to
+			// Root on a zero parent).
+			span := p.tracer.Child(q.TraceContext(), "proxy.query")
+			res, err := p.handleQuery(q.SQL, span.Context())
 			if err != nil {
 				span.End(obs.A("error", err.Error()))
 				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
 				continue
 			}
-			span.End(obs.A("decisions", fmt.Sprintf("%d", len(res.Decisions))))
+			// End before sending so span logs are complete once the
+			// client observes the result.
+			span.End(obs.A("decisions", strconv.Itoa(len(res.Decisions))),
+				obs.A("yield", strconv.FormatInt(res.Bytes, 10)))
 			p.send(conn, MsgResult, res)
 		case MsgStats:
 			p.send(conn, MsgStatsResult, p.stats())
@@ -236,8 +243,12 @@ func (p *Proxy) serveConn(conn net.Conn) {
 	}
 }
 
-// handleQuery mediates one client statement.
-func (p *Proxy) handleQuery(sql string) (*ResultMsg, error) {
+// handleQuery mediates one client statement. ctx is the enclosing
+// proxy.query span's trace context (zero when tracing is off); every
+// leg — mediation, per-object decisions, fetches, sub-queries — is
+// emitted as a child span, and node RPC frames carry the leg's
+// context so the remote node's spans join the same tree.
+func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
@@ -245,10 +256,14 @@ func (p *Proxy) handleQuery(sql string) (*ResultMsg, error) {
 	if err != nil {
 		return nil, err
 	}
+	mspan := p.tracer.Child(ctx, "proxy.mediate")
 	rep, err := p.med.QueryStmt(sql, stmt)
 	if err != nil {
+		mspan.End(obs.A("error", err.Error()))
 		return nil, err
 	}
+	mspan.End(obs.A("yield", strconv.FormatInt(rep.Result.Bytes, 10)),
+		obs.A("rows", strconv.FormatInt(rep.Result.Rows, 10)))
 	res := &ResultMsg{
 		Columns: rep.Result.Columns,
 		Rows:    rep.Result.Rows,
@@ -265,11 +280,19 @@ func (p *Proxy) handleQuery(sql string) (*ResultMsg, error) {
 			Yield:    d.Yield,
 			Decision: d.Decision.String(),
 		})
+		// One proxy.decide span per object access: summing the yield
+		// attrs over a trace reproduces the query's D_A contribution
+		// (uniform net costs).
+		p.tracer.Child(ctx, "proxy.decide",
+			obs.A("object", string(d.Object)),
+			obs.A("site", d.Site),
+			obs.A("yield", strconv.FormatInt(d.Yield, 10)),
+			obs.A("decision", d.Decision.String())).End()
 		switch d.Decision {
 		case core.Bypass:
 			bypassedTables[tableOfObject(string(d.Object))] = true
 		case core.Load:
-			if err := p.fetchObject(string(d.Object), d.Site); err != nil {
+			if err := p.fetchObject(string(d.Object), d.Site, ctx); err != nil {
 				p.logf("proxy: fetch %s: %v", d.Object, err)
 			}
 		}
@@ -282,7 +305,7 @@ func (p *Proxy) handleQuery(sql string) (*ResultMsg, error) {
 				if !bypassedTables[t.Name] {
 					continue
 				}
-				if err := p.shipSubquery(sub.String(), t.Site); err != nil {
+				if err := p.shipSubquery(sub.String(), t.Site, ctx); err != nil {
 					p.logf("proxy: subquery to %s: %v", t.Site, err)
 				}
 			}
@@ -396,9 +419,17 @@ func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any) (MsgType, []byte
 }
 
 // shipSubquery sends a sub-query to the owning node and drains the
-// response.
-func (p *Proxy) shipSubquery(sql, site string) error {
-	t, body, err := p.nodeRPC(site, MsgQuery, QueryMsg{SQL: sql})
+// response, under a proxy.subquery span whose context rides in the
+// frame so the node's dbnode.execute span nests beneath it.
+func (p *Proxy) shipSubquery(sql, site string, ctx obs.TraceContext) (err error) {
+	span := p.tracer.Child(ctx, "proxy.subquery", obs.A("site", site))
+	defer func() { endSpan(span, err) }()
+	sctx := span.Context()
+	t, body, err := p.nodeRPC(site, MsgQuery, QueryMsg{
+		SQL:        sql,
+		TraceID:    obs.FormatID(sctx.TraceID),
+		ParentSpan: obs.FormatID(sctx.SpanID),
+	})
 	if err != nil || body == nil {
 		return err
 	}
@@ -412,9 +443,18 @@ func (p *Proxy) shipSubquery(sql, site string) error {
 	return nil
 }
 
-// fetchObject performs an object-fetch RPC for a load decision.
-func (p *Proxy) fetchObject(object, site string) error {
-	t, body, err := p.nodeRPC(site, MsgFetch, FetchMsg{Object: object})
+// fetchObject performs an object-fetch RPC for a load decision, under
+// a proxy.fetch span propagated to the node.
+func (p *Proxy) fetchObject(object, site string, ctx obs.TraceContext) (err error) {
+	span := p.tracer.Child(ctx, "proxy.fetch",
+		obs.A("object", object), obs.A("site", site))
+	defer func() { endSpan(span, err) }()
+	sctx := span.Context()
+	t, body, err := p.nodeRPC(site, MsgFetch, FetchMsg{
+		Object:     object,
+		TraceID:    obs.FormatID(sctx.TraceID),
+		ParentSpan: obs.FormatID(sctx.SpanID),
+	})
 	if err != nil || body == nil {
 		return err
 	}
@@ -426,6 +466,15 @@ func (p *Proxy) fetchObject(object, site string) error {
 		return fmt.Errorf("node %s: %s", site, e.Message)
 	}
 	return nil
+}
+
+// endSpan ends a leg span, tagging the error when the leg failed.
+func endSpan(span obs.Span, err error) {
+	if err != nil {
+		span.End(obs.A("error", err.Error()))
+		return
+	}
+	span.End()
 }
 
 // stats snapshots the proxy state.

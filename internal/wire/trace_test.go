@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the daemons' JSONL
+// sinks write from serving goroutines while the test reads after the
+// fact.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Reader() io.Reader {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return bytes.NewReader(append([]byte(nil), s.b.Bytes()...))
+}
+
+// tracedFederation is testFederation with a JSONL span sink per
+// daemon, as byproxyd/bydbd -trace-out produce.
+func tracedFederation(t *testing.T, policy core.Policy, gran federation.Granularity) (*Client, *Proxy, map[string]*syncBuffer, func()) {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := func(string, ...any) {}
+
+	sites := map[string]bool{}
+	for i := range s.Tables {
+		sites[s.Tables[i].Site] = true
+	}
+	logs := map[string]*syncBuffer{"proxy": {}}
+	var nodes []*DBNode
+	addrs := map[string]string{}
+	for site := range sites {
+		n := NewDBNode(site, db)
+		n.SetLogf(quiet)
+		buf := &syncBuffer{}
+		logs[site] = buf
+		n.SetTracer(obs.NewTracer(obs.NewJSONL(buf)))
+		addr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		addrs[site] = addr
+	}
+
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db, Policy: policy, Granularity: gran,
+		Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := NewProxy(med, gran, addrs)
+	proxy.SetLogf(quiet)
+	proxy.SetTracer(obs.NewTracer(obs.NewJSONL(logs["proxy"])))
+	paddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, proxy, logs, func() {
+		client.Close()
+		proxy.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+// TestEndToEndTraceTree is the tracing acceptance test: a traced
+// workload against a proxy and two database nodes must leave span
+// logs that, merged across all three daemons, reconstruct into one
+// connected tree per client query — rooted at proxy.query, no
+// orphans, with the nodes' execute/fetch spans attached under the
+// proxy's RPC legs — and the per-trace decide yields must sum to the
+// proxy's delivered-byte accounting (D_A = D_S + D_C, uniform net).
+func TestEndToEndTraceTree(t *testing.T) {
+	cap := catalog.EDR().TotalBytes()
+	client, _, logs, shutdown := tracedFederation(t,
+		core.NewRateProfile(core.RateProfileConfig{Capacity: cap}), federation.Columns)
+	defer shutdown()
+
+	// A fat repeated query drives bypass → load → hit (exercising the
+	// fetch leg), plus a cross-site join touching both nodes.
+	queries := 0
+	for i := 0; i < 6; i++ {
+		if _, err := client.Query("select ra, dec from photoobj where ra between 0 and 350"); err != nil {
+			t.Fatal(err)
+		}
+		queries++
+	}
+	if _, err := client.Query(`select p.objid, s.z from specobj s, photoobj p
+		where p.objid = s.objid and s.z < 3`); err != nil {
+		t.Fatal(err)
+	}
+	queries++
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Merge the three daemons' span logs, tagging provenance.
+	var merged []obs.Event
+	nodeSpans := map[string]map[string]int{} // source buffer → span name → count
+	for source, buf := range logs {
+		evs, err := obs.ReadEvents(buf.Reader())
+		if err != nil {
+			t.Fatalf("reading %s span log: %v", source, err)
+		}
+		counts := map[string]int{}
+		for _, e := range evs {
+			counts[e.Name]++
+		}
+		nodeSpans[source] = counts
+		merged = append(merged, evs...)
+	}
+	for _, site := range []string{catalog.SitePhoto, catalog.SiteSpec} {
+		if nodeSpans[site]["dbnode.execute"] == 0 {
+			t.Fatalf("node %s logged no dbnode.execute spans: %v", site, nodeSpans[site])
+		}
+	}
+	if nodeSpans[catalog.SitePhoto]["dbnode.fetch"] == 0 {
+		t.Fatalf("load decisions should produce dbnode.fetch spans: %v", nodeSpans[catalog.SitePhoto])
+	}
+
+	trees := obs.BuildTraces(merged)
+	if len(trees) != queries {
+		t.Fatalf("traces = %d, want %d (one per client query)", len(trees), queries)
+	}
+	var yieldSum int64
+	remoteLegs := 0
+	for _, tree := range trees {
+		if len(tree.Roots) != 1 || tree.Orphans != 0 {
+			t.Fatalf("trace %s is not a single connected tree: roots=%d orphans=%d",
+				tree.ID, len(tree.Roots), tree.Orphans)
+		}
+		root := tree.Roots[0]
+		if root.Name != "proxy.query" {
+			t.Fatalf("trace %s rooted at %q, want proxy.query", tree.ID, root.Name)
+		}
+		tree.Walk(func(n *obs.SpanNode, depth int) {
+			switch n.Name {
+			case "proxy.decide":
+				y, err := strconv.ParseInt(n.AttrValue("yield"), 10, 64)
+				if err != nil {
+					t.Fatalf("decide span without parseable yield: %+v", n.Event)
+				}
+				yieldSum += y
+			case "dbnode.execute", "dbnode.fetch":
+				// Remote spans must be children of the proxy's RPC legs,
+				// i.e. nested at depth ≥ 2 under the root.
+				if depth < 2 {
+					t.Fatalf("remote span %s at depth %d", n.Name, depth)
+				}
+				remoteLegs++
+			}
+		})
+	}
+	if remoteLegs == 0 {
+		t.Fatal("no remote spans joined the proxy's traces")
+	}
+	// Per-leg yields reconcile with the flow accounting: under uniform
+	// network costs every access's yield is delivered either by bypass
+	// (D_S) or from the cache (D_C), so the trace-derived sum equals
+	// D_A exactly.
+	if da := st.Acct.DeliveredBytes(); yieldSum != da {
+		t.Fatalf("sum of decide yields = %d, accounting D_A = %d", yieldSum, da)
+	}
+}
+
+// TestTracedFederationMetricsEndpoint serves the proxy's registry over
+// the HTTP telemetry plane after a workload and checks the exposition
+// is well-formed Prometheus text carrying the windowed flow rates.
+func TestTracedFederationMetricsEndpoint(t *testing.T) {
+	cap := catalog.EDR().TotalBytes()
+	client, proxy, _, shutdown := tracedFederation(t,
+		core.NewRateProfile(core.RateProfileConfig{Capacity: cap}), federation.Columns)
+	defer shutdown()
+
+	for i := 0; i < 4; i++ {
+		if _, err := client.Query("select ra, dec from photoobj where ra between 0 and 350"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := obs.StartHTTP("127.0.0.1:0", obs.NewHTTPHandler(proxy.Obs().Snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	out := string(body)
+
+	// Well-formed exposition: every non-comment line is a sample;
+	// every sample belongs to a # TYPE'd family.
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.e+-]+$`)
+	typed := map[string]bool{}
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		l := string(line)
+		if l == "" {
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(l); m != nil {
+			typed[m[1]] = true
+			continue
+		}
+		if !sampleRe.MatchString(l) {
+			t.Fatalf("malformed exposition line: %q", l)
+		}
+		name := nameRe.FindString(l)
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := bytes.CutSuffix([]byte(name), []byte(suf)); ok {
+				base = string(cut)
+				break
+			}
+		}
+		if !typed[name] && !typed[base] {
+			t.Fatalf("sample %q has no preceding # TYPE", name)
+		}
+	}
+
+	// The windowed D_S/D_L/D_C and query rates must be exported — the
+	// workload just ran, so the window is live (values may be 0 for
+	// flows the policy did not exercise, but the families must exist).
+	for _, rate := range []string{
+		"core_bypass_bytes_rate", "core_fetch_bytes_rate",
+		"core_cache_bytes_rate", "core_query_rate",
+	} {
+		if !typed[rate] {
+			t.Fatalf("/metrics missing windowed rate %s", rate)
+		}
+	}
+	// The query rate in particular is strictly positive right after a
+	// burst of queries.
+	qr := regexp.MustCompile(`(?m)^core_query_rate ([0-9.e+-]+)$`).FindStringSubmatch(out)
+	if qr == nil {
+		t.Fatal("core_query_rate sample missing")
+	}
+	if v, _ := strconv.ParseFloat(qr[1], 64); v <= 0 {
+		t.Fatalf("core_query_rate = %s, want > 0", qr[1])
+	}
+}
