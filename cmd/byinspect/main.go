@@ -3,7 +3,9 @@
 // 5–6), and query containment (Figure 4) — or, with -addr, scrapes a
 // live byproxyd/bydbd metrics snapshot and renders it. With -spans it
 // merges daemon span logs into per-query trace waterfalls; with
-// -watch it re-scrapes live metrics and shows what moved.
+// -watch it re-scrapes live metrics and shows what moved; with
+// -decisions it shows the proxy's decision ledger, counterfactual
+// savings versus the shadow baselines, and top regret contributors.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	byinspect -addr localhost:7100          # live metrics, human table
 //	byinspect -addr localhost:7100 -json    # raw snapshot JSON
 //	byinspect -addr localhost:7100 -watch 2s
+//	byinspect -addr localhost:7100 -decisions -action load -top 5
 //	byinspect -spans proxy.jsonl,photo.jsonl,spec.jsonl
 package main
 
@@ -23,6 +26,7 @@ import (
 	"strings"
 
 	"bypassyield/internal/trace"
+	"bypassyield/internal/wire"
 	"bypassyield/internal/workload"
 )
 
@@ -35,6 +39,12 @@ func main() {
 		asJSON = flag.Bool("json", false, "with -addr, print the raw snapshot as JSON")
 		watch  = flag.Duration("watch", 0, "with -addr, re-scrape at this interval and show deltas")
 		spans  = flag.String("spans", "", "comma-separated daemon span logs (-trace-out files) to merge into trace waterfalls")
+
+		decisions = flag.Bool("decisions", false, "with -addr, show the proxy's decision ledger and counterfactual baselines")
+		object    = flag.String("object", "", "with -decisions, filter records by exact object id")
+		action    = flag.String("action", "", "with -decisions, filter records by action (hit, bypass, load)")
+		traceID   = flag.String("trace-id", "", "with -decisions, filter records by 16-hex-digit trace id")
+		limit     = flag.Int("limit", 0, "with -decisions, cap returned records (0 = server default)")
 	)
 	flag.Parse()
 
@@ -42,6 +52,14 @@ func main() {
 	switch {
 	case *spans != "":
 		err = runSpans(os.Stdout, strings.Split(*spans, ","))
+	case *decisions:
+		if *addr == "" {
+			err = fmt.Errorf("-decisions requires -addr")
+			break
+		}
+		err = runDecisions(os.Stdout, *addr, wire.DecisionsMsg{
+			Object: *object, Action: *action, Trace: *traceID, Limit: *limit,
+		}, *top, *asJSON)
 	case *addr != "" && *watch > 0:
 		err = runWatch(os.Stdout, *addr, *watch, 0)
 	case *addr != "":

@@ -12,6 +12,7 @@ import (
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/trace"
 	"bypassyield/internal/wire"
 	"bypassyield/internal/workload"
@@ -55,6 +56,8 @@ func liveProxy(t *testing.T) string {
 		Policy:      core.NewRateProfile(core.RateProfileConfig{Capacity: s.TotalBytes()}),
 		Granularity: federation.Columns,
 		Obs:         obs.NewRegistry(),
+		Ledger:      ledger.New(1024),
+		Shadows:     true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +114,53 @@ func TestRunLiveJSON(t *testing.T) {
 	}
 	if m.Source != "byproxyd" || m.Snapshot.CounterTotal("core.decisions") == 0 {
 		t.Fatalf("decoded = %+v", m)
+	}
+}
+
+func TestRunDecisionsTable(t *testing.T) {
+	addr := liveProxy(t)
+	var buf bytes.Buffer
+	if err := runDecisions(&buf, addr, wire.DecisionsMsg{}, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"decision ledger:",
+		"by action:",
+		"recent decisions",
+		"edr/photoobj.ra",
+		"vs always-bypass",
+		"vs lruk",
+		"ski-rental lower bound",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Action filter narrows the record list to loads only.
+	buf.Reset()
+	if err := runDecisions(&buf, addr, wire.DecisionsMsg{Action: "load"}, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if strings.Contains(out, " bypass ") || strings.Contains(out, " hit ") {
+		t.Fatalf("action=load output contains other actions:\n%s", out)
+	}
+}
+
+func TestRunDecisionsJSON(t *testing.T) {
+	addr := liveProxy(t)
+	var buf bytes.Buffer
+	if err := runDecisions(&buf, addr, wire.DecisionsMsg{}, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	var res wire.DecisionsResultMsg
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if res.Total == 0 || len(res.Records) == 0 || len(res.Baselines) == 0 {
+		t.Fatalf("decoded = %+v", res)
 	}
 }
 

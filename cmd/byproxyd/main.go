@@ -7,7 +7,7 @@
 //
 //	byproxyd -release edr -addr :7100 -policy rate-profile -cache-pct 0.4 \
 //	  -nodes "photo.sdss.org=localhost:7101,spec.sdss.org=localhost:7102" \
-//	  -http :7180 -trace-out proxy-spans.jsonl
+//	  -http :7180 -trace-out proxy-spans.jsonl -ledger 4096 -ledger-out decisions.jsonl
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/wire"
 )
 
@@ -41,6 +42,10 @@ type options struct {
 	rpcTimeout time.Duration // node RPC deadline (0 disables)
 	traceOut   string        // JSONL span log path ("" disables)
 	httpAddr   string        // telemetry plane listen address ("" disables)
+
+	ledgerCap int64  // decision-ledger ring capacity (0 disables)
+	ledgerOut string // JSONL decision log path ("" disables)
+	shadow    bool   // run counterfactual shadow baselines
 }
 
 func main() {
@@ -56,6 +61,9 @@ func main() {
 	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", wire.DefaultRPCTimeout, "deadline for node RPCs (0 disables)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "append per-query spans as JSONL to this file")
 	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /healthz, /debug/pprof on this address")
+	flag.Int64Var(&o.ledgerCap, "ledger", 4096, "decision-ledger ring capacity in records (0 disables)")
+	flag.StringVar(&o.ledgerOut, "ledger-out", "", "append every decision record as JSONL to this file")
+	flag.BoolVar(&o.shadow, "shadow", true, "run counterfactual baselines (always-bypass, LRU-K) online")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -80,17 +88,20 @@ func run(o options) error {
 	return d.Close()
 }
 
-// daemon is a started proxy with its telemetry plane and span sink.
+// daemon is a started proxy with its telemetry plane, span sink, and
+// decision-ledger sink.
 type daemon struct {
-	proxy *wire.Proxy
-	http  *obs.HTTPServer // nil when -http is unset
-	sink  *obs.JSONL      // nil when -trace-out is unset
-	bound string
-	desc  string
+	proxy  *wire.Proxy
+	http   *obs.HTTPServer // nil when -http is unset
+	sink   *obs.JSONL      // nil when -trace-out is unset
+	ledger *ledger.JSONL   // nil when -ledger-out is unset
+	bound  string
+	desc   string
 }
 
 // Close shuts the listener, the HTTP plane, and — last, so in-flight
-// spans still land — flushes and closes the span log.
+// spans and decision records still land — flushes and closes the
+// JSONL logs.
 func (d *daemon) Close() error {
 	err := d.proxy.Close()
 	if d.http != nil {
@@ -100,6 +111,9 @@ func (d *daemon) Close() error {
 	}
 	if serr := d.sink.Close(); err == nil {
 		err = serr
+	}
+	if lerr := d.ledger.Close(); err == nil {
+		err = lerr
 	}
 	return err
 }
@@ -135,10 +149,27 @@ func start(o options) (*daemon, error) {
 	// every layer.
 	reg := obs.NewRegistry()
 	db.SetObs(reg)
+	var led *ledger.Ledger
+	var ledSink *ledger.JSONL
+	if o.ledgerCap > 0 {
+		led = ledger.New(int(o.ledgerCap))
+		if o.ledgerOut != "" {
+			f, err := os.OpenFile(o.ledgerOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			ledSink = ledger.NewJSONL(f)
+			led.SetSink(ledSink)
+		}
+	} else if o.ledgerOut != "" {
+		return nil, fmt.Errorf("-ledger-out requires -ledger > 0")
+	}
 	med, err := federation.New(federation.Config{
 		Schema: s, Engine: db, Policy: pol, Granularity: g, Obs: reg,
+		Ledger: led, Shadows: o.shadow,
 	})
 	if err != nil {
+		ledSink.Close()
 		return nil, err
 	}
 
@@ -155,10 +186,11 @@ func start(o options) (*daemon, error) {
 
 	proxy := wire.NewProxy(med, g, nodeAddrs)
 	proxy.SetRPCTimeout(o.rpcTimeout)
-	d := &daemon{proxy: proxy}
+	d := &daemon{proxy: proxy, ledger: ledSink}
 	if o.traceOut != "" {
 		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
+			d.ledger.Close()
 			return nil, err
 		}
 		d.sink = obs.NewJSONL(f)
@@ -168,6 +200,7 @@ func start(o options) (*daemon, error) {
 		srv, err := obs.StartHTTP(o.httpAddr, obs.NewHTTPHandler(reg.Snapshot))
 		if err != nil {
 			d.sink.Close()
+			d.ledger.Close()
 			return nil, err
 		}
 		d.http = srv
@@ -178,6 +211,7 @@ func start(o options) (*daemon, error) {
 			d.http.Close()
 		}
 		d.sink.Close()
+		d.ledger.Close()
 		return nil, err
 	}
 	d.bound = bound

@@ -106,6 +106,60 @@ func TestStartAndQuery(t *testing.T) {
 	}
 }
 
+func TestStartLedgerFlags(t *testing.T) {
+	o := testOptions()
+	o.ledgerCap = 64
+	o.ledgerOut = filepath.Join(t.TempDir(), "decisions.jsonl")
+	o.shadow = true
+	d, err := start(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Dial(d.bound)
+	if err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	if _, err := c.Query("select ra from photoobj where ra < 90"); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decisions(wire.DecisionsMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Total == 0 || len(dec.Records) == 0 {
+		t.Fatalf("decisions = %+v, want records for the query", dec)
+	}
+	if len(dec.Baselines) == 0 {
+		t.Fatal("shadow baselines missing with -shadow")
+	}
+	c.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// -ledger-out persisted every record as JSONL.
+	b, err := os.ReadFile(o.ledgerOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(b)), "\n") + 1
+	if uint64(lines) != dec.Total {
+		t.Fatalf("ledger log has %d lines, want %d:\n%s", lines, dec.Total, b)
+	}
+	if !strings.Contains(string(b), `"action"`) {
+		t.Fatalf("ledger log missing action field:\n%s", b)
+	}
+}
+
+func TestStartLedgerOutRequiresLedger(t *testing.T) {
+	o := testOptions()
+	o.ledgerCap = 0
+	o.ledgerOut = filepath.Join(t.TempDir(), "decisions.jsonl")
+	if _, err := start(o); err == nil {
+		t.Fatal("-ledger-out without -ledger should fail startup")
+	}
+}
+
 func TestStartErrors(t *testing.T) {
 	cases := []struct {
 		name    string

@@ -1,20 +1,26 @@
 // Command byreplay replays a workload trace file (bytrace's JSONL
 // output) against a running proxy — the paper's trace-driven
 // methodology over the live prototype — and reports the proxy's flow
-// accounting when done.
+// accounting when done. With -audit it also scrapes the decision
+// ledger and diffs realized traffic against the proxy's online
+// counterfactual baselines (always-bypass, LRU-K) and the ski-rental
+// lower bound.
 //
 // Usage:
 //
 //	bytrace -release edr -scale 100 -out edr.jsonl
-//	byreplay -addr localhost:7100 -trace edr.jsonl -progress 100
+//	byreplay -addr localhost:7100 -trace edr.jsonl -progress 100 -audit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"bypassyield/internal/core"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/trace"
 	"bypassyield/internal/wire"
 )
@@ -25,16 +31,18 @@ func main() {
 		path     = flag.String("trace", "", "trace file (JSONL, from bytrace)")
 		limit    = flag.Int("limit", 0, "replay at most N queries (0 = all)")
 		progress = flag.Int("progress", 500, "print progress every N queries (0 = quiet)")
+		audit    = flag.Bool("audit", false, "after replay, diff realized vs. counterfactual traffic from the proxy's ledger")
+		top      = flag.Int("top", 5, "with -audit, show the top-N regret contributors")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *path, *limit, *progress); err != nil {
+	if err := run(*addr, *path, *limit, *progress, *audit, *top); err != nil {
 		fmt.Fprintln(os.Stderr, "byreplay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, limit, progress int) error {
+func run(addr, path string, limit, progress int, audit bool, top int) error {
 	if path == "" {
 		return fmt.Errorf("-trace is required")
 	}
@@ -81,5 +89,56 @@ func run(addr, path string, limit, progress int) error {
 	fmt.Printf("WAN %.3f GB (bypass %.3f + fetch %.3f) of %.3f GB delivered; byte hit rate %.1f%%\n",
 		float64(a.WANBytes())/1e9, float64(a.BypassBytes)/1e9, float64(a.FetchBytes)/1e9,
 		float64(a.DeliveredBytes())/1e9, a.ByteHitRate()*100)
+	if audit {
+		return runAudit(os.Stdout, client, a, top)
+	}
+	return nil
+}
+
+// runAudit scrapes the proxy's decision ledger and diffs realized
+// traffic against the shadow counterfactuals: savings per baseline,
+// the ski-rental lower bound with the live competitive ratio, and the
+// objects contributing the most regret.
+func runAudit(w io.Writer, client *wire.Client, a core.Accounting, top int) error {
+	dec, err := client.Decisions(wire.DecisionsMsg{Limit: 4096})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\naudit: %d decisions recorded (%d in ring)\n", dec.Total, len(dec.Records))
+	if len(dec.Baselines) == 0 {
+		fmt.Fprintln(w, "audit: proxy has no shadow baselines (byproxyd -shadow=false?)")
+		return nil
+	}
+
+	realized := a.WANBytes()
+	fmt.Fprintf(w, "realized WAN %14.3f MB\n", float64(realized)/1e6)
+	for _, b := range dec.Baselines {
+		wan := b.Acct.WANBytes()
+		pct := 0.0
+		if wan > 0 {
+			pct = 100 * float64(b.SavedBytes) / float64(wan)
+		}
+		fmt.Fprintf(w, "  %-16s %14.3f MB  saved %14.3f MB (%5.1f%%)\n",
+			b.Name, float64(wan)/1e6, float64(b.SavedBytes)/1e6, pct)
+	}
+	if dec.OptBoundBytes > 0 {
+		fmt.Fprintf(w, "ski-rental bound %11.3f MB  → competitive ratio %.3f\n",
+			float64(dec.OptBoundBytes)/1e6, float64(dec.CompetitiveRatioMilli)/1000)
+	}
+
+	regrets := ledger.Regret(dec.Records)
+	if top > len(regrets) {
+		top = len(regrets)
+	}
+	if top > 0 && len(regrets) > 0 && regrets[0].Regret > 0 {
+		fmt.Fprintf(w, "top %d regret contributors (from the ring's %d records):\n", top, len(dec.Records))
+		for _, or := range regrets[:top] {
+			if or.Regret <= 0 {
+				break
+			}
+			fmt.Fprintf(w, "  %-36s %4d accesses  regret %9.3f MB\n",
+				or.Object, or.Accesses, float64(or.Regret)/1e6)
+		}
+	}
 	return nil
 }

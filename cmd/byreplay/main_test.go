@@ -1,19 +1,23 @@
 package main
 
 import (
+	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/trace"
 	"bypassyield/internal/wire"
 	"bypassyield/internal/workload"
 )
 
-// startProxy spins an in-process proxy in simulation mode.
+// startProxy spins an in-process proxy in simulation mode, with the
+// decision ledger and shadow baselines on so -audit has data.
 func startProxy(t *testing.T) (string, func()) {
 	t.Helper()
 	s := catalog.EDR()
@@ -25,6 +29,8 @@ func startProxy(t *testing.T) (string, func()) {
 		Schema: s, Engine: db,
 		Policy:      core.NewRateProfile(core.RateProfileConfig{Capacity: s.TotalBytes() * 4 / 10}),
 		Granularity: federation.Columns,
+		Ledger:      ledger.New(4096),
+		Shadows:     true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -50,17 +56,55 @@ func TestRunReplaysTrace(t *testing.T) {
 	}
 	addr, stop := startProxy(t)
 	defer stop()
-	if err := run(addr, path, 25, 0); err != nil {
+	if err := run(addr, path, 25, 0, false, 5); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunAudit(t *testing.T) {
+	p := workload.ScaledProfile(workload.EDRProfile(), 500)
+	recs, err := workload.Generate(p, federation.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	if err := trace.WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startProxy(t)
+	defer stop()
+	if err := run(addr, path, 25, 0, true, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// runAudit's output carries the baseline diff and the bound.
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runAudit(&buf, c, st.Acct, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"realized WAN", "always-bypass", "lruk", "ski-rental bound"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("audit output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("127.0.0.1:1", "", 0, 0); err == nil {
+	if err := run("127.0.0.1:1", "", 0, 0, false, 5); err == nil {
 		t.Fatal("missing trace should error")
 	}
 	addrless := filepath.Join(t.TempDir(), "absent.jsonl")
-	if err := run("127.0.0.1:1", addrless, 0, 0); err == nil {
+	if err := run("127.0.0.1:1", addrless, 0, 0, false, 5); err == nil {
 		t.Fatal("absent trace should error")
 	}
 }

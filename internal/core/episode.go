@@ -252,6 +252,20 @@ func (pt *profileTable) prune(t int64) {
 	}
 }
 
+// info reports an object's episode state for explanations: the count
+// of completed episodes and whether one is currently open ("open" vs
+// "closed"; "" for an untracked object).
+func (pt *profileTable) info(id ObjectID) (episodes int64, phase string) {
+	p := pt.byID[id]
+	if p == nil {
+		return 0, ""
+	}
+	if p.open {
+		return int64(len(p.past)), "open"
+	}
+	return int64(len(p.past)), "closed"
+}
+
 // size reports the number of tracked profiles (for tests of the
 // metadata bound).
 func (pt *profileTable) size() int { return len(pt.byID) }

@@ -82,6 +82,101 @@ func TestEpisodeRateDecaySplit(t *testing.T) {
 	}
 }
 
+func TestRateDecayBoundaryExactlyCDoesNotSplit(t *testing.T) {
+	// Heuristic (1) is a strict inequality: the episode ends only when
+	// LARP < C·maxLARP, so LARP landing EXACTLY on the boundary must
+	// keep the episode open. All quantities here are exactly
+	// representable in float64, so the comparison is exact.
+	cfg := DefaultEpisodeConfig()
+	cfg.C = 0.5
+	cfg.K = 1 << 40 // disable idle split
+	pt := newTestTable(cfg, 0)
+	obj := testObj("a", 100)
+	pt.observe(1, obj, 300) // LARP = (300−100)/(1·100) = 2.0; max = 2.0
+	p := pt.byID[obj.ID]
+	if !almostEqual(p.maxLARP, 2.0) {
+		t.Fatalf("maxLARP = %v, want 2.0", p.maxLARP)
+	}
+	// t=3: dt=2, sum=300 → LARP = 200/200 = 1.0 == 0.5·2.0 exactly.
+	pt.observe(3, obj, 0)
+	if len(p.past) != 0 {
+		t.Fatalf("episode split at LARP == C·maxLARP: past = %v", p.past)
+	}
+	if !p.open || p.start != 1 {
+		t.Fatalf("episode state disturbed at the boundary: open=%v start=%d", p.open, p.start)
+	}
+	// One epsilon below the boundary (t=4: LARP = 200/300 < 1.0) the
+	// split fires.
+	pt.observe(4, obj, 0)
+	if len(p.past) != 1 || !almostEqual(p.past[0], 2.0) {
+		t.Fatalf("episode not split just below the boundary: past = %v", p.past)
+	}
+	if p.start != 4 {
+		t.Fatalf("new episode start = %d, want 4", p.start)
+	}
+}
+
+func TestRateDecayBoundaryZeroMaxDoesNotSplit(t *testing.T) {
+	// The guard is also strict: maxLARP must be > 0 for heuristic (1)
+	// to arm. An episode sitting exactly at maxLARP == 0 (the yield
+	// exactly paid off the fetch cost, no more) never rate-splits.
+	cfg := DefaultEpisodeConfig()
+	cfg.C = 0.5
+	cfg.K = 1 << 40
+	pt := newTestTable(cfg, 0)
+	obj := testObj("a", 100)
+	pt.observe(1, obj, 100) // LARP = (100−100)/100 = 0 exactly
+	p := pt.byID[obj.ID]
+	if p.maxLARP != 0 {
+		t.Fatalf("maxLARP = %v, want exactly 0", p.maxLARP)
+	}
+	for i := int64(2); i < 30; i += 3 {
+		pt.observe(i, obj, 0)
+	}
+	if len(p.past) != 0 {
+		t.Fatalf("zero-max episode was rate-split: past = %v", p.past)
+	}
+}
+
+func TestRateDecaySplitRespectsConfiguredC(t *testing.T) {
+	// The boundary moves with C: with C = 0.25 a decay to half the max
+	// (which splits at C = 0.5) keeps the episode open, and only a
+	// decay below a quarter of the max closes it.
+	cfg := DefaultEpisodeConfig()
+	cfg.C = 0.25
+	cfg.K = 1 << 40
+	pt := newTestTable(cfg, 0)
+	obj := testObj("a", 100)
+	pt.observe(1, obj, 300) // max = 2.0
+	p := pt.byID[obj.ID]
+	pt.observe(4, obj, 0) // LARP = 200/300 ≈ 0.667 ≥ 0.25·2.0
+	if len(p.past) != 0 {
+		t.Fatalf("episode split above the C=0.25 boundary: past = %v", p.past)
+	}
+	pt.observe(9, obj, 0) // LARP = 200/800 = 0.25 < 0.25·2.0 = 0.5 → split
+	if len(p.past) != 1 {
+		t.Fatalf("episode not split below the C=0.25 boundary: past = %v", p.past)
+	}
+}
+
+func TestEpisodeInfo(t *testing.T) {
+	cfg := DefaultEpisodeConfig()
+	cfg.K = 10
+	pt := newTestTable(cfg, 0)
+	obj := testObj("a", 100)
+	if n, phase := pt.info(obj.ID); n != 0 || phase != "" {
+		t.Fatalf("untracked info = %d/%q, want 0/\"\"", n, phase)
+	}
+	pt.observe(1, obj, 100)
+	if n, phase := pt.info(obj.ID); n != 0 || phase != "open" {
+		t.Fatalf("open-episode info = %d/%q, want 0/open", n, phase)
+	}
+	pt.onLoad(obj.ID)
+	if n, phase := pt.info(obj.ID); n != 1 || phase != "closed" {
+		t.Fatalf("post-load info = %d/%q, want 1/closed", n, phase)
+	}
+}
+
 func TestNegativeMaxDoesNotSplit(t *testing.T) {
 	// While the load penalty has not been overcome (max LARP ≤ 0)
 	// heuristic (1) must not fire — the paper observes the rate only

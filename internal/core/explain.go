@@ -1,0 +1,121 @@
+package core
+
+import "bypassyield/internal/obs/ledger"
+
+// Explain captures the inputs behind a policy's most recent Access
+// decision — the quantities the paper's algorithms actually compare
+// (RP vs. LAR, the BYU accumulator, episode state) plus a compact
+// reason code naming the rule that fired. Policies that can explain
+// themselves implement SelfExplainer; DecisionRecordFor folds the
+// explanation into a ledger.DecisionRecord.
+//
+// Explain is a value (no pointers) and its Reason strings are the
+// interned constants below, so capturing one allocates nothing.
+type Explain struct {
+	// RP is the in-cache rate profile involved in the decision (the
+	// object's own RP on a hit; see VictimRP for eviction comparisons).
+	RP float64
+	// LAR is the candidate's load-adjusted rate (eqs. 4-6).
+	LAR float64
+	// BYU is the normalized ski-rental accumulator (OnlineBY).
+	BYU float64
+	// VictimRP is the maximum rate profile in the would-be victim set.
+	VictimRP float64
+	// Episodes counts the object's completed episodes.
+	Episodes int64
+	// EpisodePhase is "open" while the object is mid-burst, "closed"
+	// otherwise, "" when the policy tracks no episodes.
+	EpisodePhase string
+	// Reason names the rule that produced the decision.
+	Reason string
+}
+
+// Reason codes. Each names the single branch of a policy's Access
+// that produced the decision, so an operator reading a ledger can map
+// a record straight back to the algorithm text.
+const (
+	// ReasonInCache: the object was cached; the access is a hit.
+	ReasonInCache = "in-cache"
+	// ReasonOversize: the object exceeds the whole cache capacity and
+	// can never be loaded.
+	ReasonOversize = "object-exceeds-capacity"
+	// ReasonLARNonpositive: free space was available but the candidate's
+	// LAR has not overcome the load penalty, so loading is a bad
+	// investment.
+	ReasonLARNonpositive = "lar-nonpositive"
+	// ReasonFitsFree: the object fit in free space and its LAR is
+	// positive; loaded without evicting.
+	ReasonFitsFree = "fits-free-space"
+	// ReasonVictimsInsufficient: evicting every candidate victim still
+	// would not free enough space.
+	ReasonVictimsInsufficient = "victims-insufficient"
+	// ReasonVictimsSaveMore: some would-be victim currently saves at a
+	// rate ≥ the candidate's LAR; keeping the victims is better.
+	ReasonVictimsSaveMore = "victims-save-more"
+	// ReasonLARBeatsVictims: the candidate's LAR exceeds every victim's
+	// RP; victims evicted, object loaded.
+	ReasonLARBeatsVictims = "lar-beats-victims"
+	// ReasonAccumulating: OnlineBY's BYU accumulator has not yet reached
+	// 1; the access is bypassed while the ski rental keeps renting.
+	ReasonAccumulating = "accumulating-byu"
+	// ReasonBYUCrossed: the accumulator crossed 1 and A_obj admitted the
+	// object.
+	ReasonBYUCrossed = "byu-crossed"
+	// ReasonAObjDeclined: the accumulator crossed 1 but A_obj declined
+	// to admit (or immediately evicted) the object.
+	ReasonAObjDeclined = "aobj-declined"
+)
+
+// SelfExplainer is an optional Policy interface: after Access returns,
+// LastExplain reports the inputs behind that decision. Implementations
+// overwrite the explanation on every Access, so callers must read it
+// before the next one.
+type SelfExplainer interface {
+	LastExplain() Explain
+}
+
+// WANCost returns the WAN traffic a decision charges under the
+// Figure-1 flow rules: 0 for a hit, the cost-scaled yield for a
+// bypass, the fetch cost for a load.
+func WANCost(obj Object, yield int64, d Decision) int64 {
+	switch d {
+	case Bypass:
+		return obj.BypassCost(yield)
+	case Load:
+		return obj.FetchCost
+	default:
+		return 0
+	}
+}
+
+// DecisionRecordFor builds the ledger record for one decided access,
+// folding in the policy's self-explanation when it offers one. The
+// record's Seq is assigned by Ledger.Record; T is the query clock.
+// Safe on a nil policy (the record just carries no policy name).
+func DecisionRecordFor(t int64, p Policy, trace string, obj Object, yield int64, d Decision) ledger.DecisionRecord {
+	rec := ledger.DecisionRecord{
+		T:         t,
+		Trace:     trace,
+		Object:    string(obj.ID),
+		Action:    d.String(),
+		Yield:     yield,
+		WANCost:   WANCost(obj, yield, d),
+		Size:      obj.Size,
+		FetchCost: obj.FetchCost,
+	}
+	if p == nil {
+		return rec
+	}
+	rec.Policy = p.Name()
+	if se, ok := p.(SelfExplainer); ok {
+		ex := se.LastExplain()
+		rec.RP = ex.RP
+		rec.LAR = ex.LAR
+		rec.BYU = ex.BYU
+		rec.VictimRP = ex.VictimRP
+		rec.Episodes = ex.Episodes
+		rec.EpisodePhase = ex.EpisodePhase
+		rec.Reason = ex.Reason
+	}
+	return rec
+}

@@ -19,7 +19,8 @@ type OnlineBY struct {
 	// acc accumulates yield BYTES per object; the BYU accumulator of
 	// Figure 2 is acc/size. Integer bytes keep the crossings exact
 	// and bit-identical to the grouped sequence of Lemma 5.1.
-	acc map[ObjectID]int64
+	acc  map[ObjectID]int64
+	last Explain
 }
 
 // NewOnlineBY returns an OnlineBY policy running over the given
@@ -73,17 +74,33 @@ func (o *OnlineBY) AccumulatedYield(id ObjectID) int64 { return o.acc[id] }
 func (o *OnlineBY) Access(t int64, obj Object, yield int64) Decision {
 	o.acc[obj.ID] += yield
 	loaded := false
+	crossed := o.acc[obj.ID] >= obj.Size
 	for o.acc[obj.ID] >= obj.Size {
 		o.acc[obj.ID] -= obj.Size
 		if o.aobj.Request(obj) == ObjLoad {
 			loaded = true
 		}
 	}
+	// The explanation reports the post-access accumulator (in [0, 1))
+	// and which ski-rental branch fired: still renting, crossed and
+	// admitted, or crossed but declined by A_obj.
+	o.last = Explain{BYU: float64(o.acc[obj.ID]) / float64(obj.Size)}
 	if o.aobj.Contains(obj.ID) {
 		if loaded {
+			o.last.Reason = ReasonBYUCrossed
 			return Load
 		}
+		o.last.Reason = ReasonInCache
 		return Hit
+	}
+	if crossed {
+		o.last.Reason = ReasonAObjDeclined
+	} else {
+		o.last.Reason = ReasonAccumulating
 	}
 	return Bypass
 }
+
+// LastExplain implements SelfExplainer: the BYU accumulator after the
+// most recent access and the ski-rental branch that fired.
+func (o *OnlineBY) LastExplain() Explain { return o.last }

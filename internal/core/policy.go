@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"bypassyield/internal/obs/ledger"
+)
 
 // Policy is a cache-management algorithm in the bypass-yield model.
 // The simulator presents each access in trace order; the policy
@@ -65,6 +70,13 @@ type Simulator struct {
 	// flows, and eviction/episode churn into an obs registry as the
 	// simulation runs (see NewTelemetry).
 	Telemetry *Telemetry
+	// Ledger, when non-nil, receives one DecisionRecord per access
+	// explaining the decision (see DecisionRecordFor).
+	Ledger *ledger.Ledger
+	// Shadows, when non-nil, replays every access through the
+	// counterfactual baselines (see NewShadowSet); telemetry savings
+	// gauges are published when Telemetry is also set.
+	Shadows *ShadowSet
 }
 
 // Run simulates the trace and returns the result. The policy is NOT
@@ -77,6 +89,9 @@ func (s *Simulator) Run(reqs []Request) (*Result, error) {
 	if ts, ok := s.Policy.(TelemetrySetter); ok && s.Telemetry != nil {
 		ts.SetTelemetry(s.Telemetry)
 	}
+	if s.Shadows != nil && s.Telemetry != nil {
+		s.Shadows.SetTelemetry(s.Telemetry)
+	}
 	for i, req := range reqs {
 		a.Queries++
 		for _, acc := range req.Accesses {
@@ -84,11 +99,22 @@ func (s *Simulator) Run(reqs []Request) (*Result, error) {
 			if !ok {
 				return nil, &UnknownObjectError{ID: acc.Object, Seq: req.Seq}
 			}
-			d := s.Policy.Access(req.Seq, obj, acc.Yield)
+			var d Decision
+			if s.Telemetry != nil {
+				start := time.Now()
+				d = s.Policy.Access(req.Seq, obj, acc.Yield)
+				s.Telemetry.ObserveDecide(time.Since(start))
+			} else {
+				d = s.Policy.Access(req.Seq, obj, acc.Yield)
+			}
 			if err := Account(a, obj, acc.Yield, d); err != nil {
 				return nil, &BadDecisionError{Policy: s.Policy.Name(), Decision: d}
 			}
 			s.Telemetry.RecordAccess(res.Policy, obj, acc.Yield, d)
+			s.Shadows.Access(req.Seq, obj, acc.Yield, d)
+			if s.Ledger != nil {
+				s.Ledger.Record(DecisionRecordFor(req.Seq, s.Policy, "", obj, acc.Yield, d))
+			}
 		}
 		if s.CurveStride > 0 && int64(i+1)%s.CurveStride == 0 {
 			res.Curve = append(res.Curve, a.WANBytes())

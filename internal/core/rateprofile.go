@@ -32,6 +32,7 @@ type RateProfile struct {
 	entries   map[ObjectID]*rpEntry
 	profiles  *profileTable
 	evictions int64
+	last      Explain
 }
 
 type rpEntry struct {
@@ -104,28 +105,46 @@ func (r *RateProfile) Contents() []ObjectID {
 	return ids
 }
 
+// LastExplain implements SelfExplainer: the comparison behind the most
+// recent Access (its RP on a hit, LAR and victim RPs on a miss, plus
+// the object's episode state and the branch that fired).
+func (r *RateProfile) LastExplain() Explain { return r.last }
+
 // Access implements Policy.
 func (r *RateProfile) Access(t int64, obj Object, yield int64) Decision {
 	if e, ok := r.entries[obj.ID]; ok {
 		e.sumYield += yield
+		r.last = Explain{RP: e.rp(t), Reason: ReasonInCache}
 		return Hit
 	}
 	lar := r.profiles.observe(t, obj, yield)
+	r.last = Explain{LAR: lar}
+	r.last.Episodes, r.last.EpisodePhase = r.profiles.info(obj.ID)
 	if obj.Size > r.cfg.Capacity {
+		r.last.Reason = ReasonOversize
 		return Bypass
 	}
 	needed := obj.Size - (r.cfg.Capacity - r.used)
 	if needed <= 0 {
 		if lar <= 0 {
+			r.last.Reason = ReasonLARNonpositive
 			return Bypass
 		}
+		r.last.Reason = ReasonFitsFree
 		r.load(t, obj, yield)
 		return Load
 	}
 	victims, maxRP, freed := r.selectVictims(t, needed)
-	if freed < needed || maxRP >= lar {
+	r.last.VictimRP = maxRP
+	if freed < needed {
+		r.last.Reason = ReasonVictimsInsufficient
 		return Bypass
 	}
+	if maxRP >= lar {
+		r.last.Reason = ReasonVictimsSaveMore
+		return Bypass
+	}
+	r.last.Reason = ReasonLARBeatsVictims
 	for _, id := range victims {
 		r.evict(id)
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "bypassyield/internal/obs"
+import (
+	"time"
+
+	"bypassyield/internal/obs"
+)
 
 // Telemetry publishes the cache core's activity into an obs.Registry:
 // decisions per policy per verdict, the Figure-1 byte flows, eviction
@@ -29,6 +33,24 @@ import "bypassyield/internal/obs"
 //	core.cache_bytes_rate     D_C bytes/s
 //	core.query_rate           mediated queries/s
 //
+// Decision latency (the cost of running the policy itself):
+//
+//	core.decide_seconds       histogram; observations in NANOSECONDS
+//	                          with explicit sub-microsecond buckets —
+//	                          the name keeps the Prometheus convention
+//	                          while the unit stays integer-friendly
+//
+// Counterfactual accounting (fed by ShadowSet, see shadow.go):
+//
+//	core.shadow_wan_bytes             counter family, label = baseline
+//	core.optbound_bytes               counter: ski-rental lower bound
+//	core.bytes_saved_vs_bypass        gauge: shadow always-bypass WAN − realized WAN
+//	core.bytes_saved_vs_lruk          gauge: shadow LRU-K WAN − realized WAN
+//	core.competitive_ratio_milli      gauge: 1000 · realized WAN / bound (lifetime)
+//	core.competitive_ratio_window_milli  gauge: same ratio over the recent rate window
+//	core.wan_bytes_rate               realized WAN bytes/s (D_S + D_L)
+//	core.optbound_bytes_rate          bound bytes/s, the window ratio's denominator
+//
 // A Telemetry built over a nil registry — or a nil *Telemetry — is a
 // no-op, so policies and simulators thread it unconditionally.
 type Telemetry struct {
@@ -48,6 +70,25 @@ type Telemetry struct {
 	fetchRate  *obs.Rate
 	cacheRate  *obs.Rate
 	queryRate  *obs.Rate
+
+	decide *obs.Histogram
+
+	shadowWAN       *obs.CounterFamily
+	optBoundBytes   *obs.Counter
+	savedVsBypass   *obs.Gauge
+	savedVsLRUK     *obs.Gauge
+	compRatio       *obs.Gauge
+	compRatioWindow *obs.Gauge
+	wanRate         *obs.Rate
+	optRate         *obs.Rate
+}
+
+// DecideBuckets are the explicit core.decide_seconds bucket bounds in
+// nanoseconds: policy decisions are map lookups plus at worst a victim
+// scan, so the resolution concentrates between 100ns and 100µs with a
+// long tail to 10ms for pathological victim sets.
+func DecideBuckets() []int64 {
+	return []int64{100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000, 10_000_000}
 }
 
 // TelemetrySetter is implemented by policies that publish internal
@@ -77,6 +118,17 @@ func NewTelemetry(r *obs.Registry) *Telemetry {
 		fetchRate:      r.Rate("core.fetch_bytes_rate"),
 		cacheRate:      r.Rate("core.cache_bytes_rate"),
 		queryRate:      r.Rate("core.query_rate"),
+
+		decide: r.Histogram("core.decide_seconds", DecideBuckets()),
+
+		shadowWAN:       r.CounterFamily("core.shadow_wan_bytes"),
+		optBoundBytes:   r.Counter("core.optbound_bytes"),
+		savedVsBypass:   r.Gauge("core.bytes_saved_vs_bypass"),
+		savedVsLRUK:     r.Gauge("core.bytes_saved_vs_lruk"),
+		compRatio:       r.Gauge("core.competitive_ratio_milli"),
+		compRatioWindow: r.Gauge("core.competitive_ratio_window_milli"),
+		wanRate:         r.Rate("core.wan_bytes_rate"),
+		optRate:         r.Rate("core.optbound_bytes_rate"),
 	}
 }
 
@@ -98,11 +150,68 @@ func (t *Telemetry) RecordAccess(policy string, obj Object, yield int64, d Decis
 		cost := obj.BypassCost(yield)
 		t.bypassBytes.Add(cost)
 		t.bypassRate.Add(cost)
+		t.wanRate.Add(cost)
 	case Load:
 		t.fetchBytes.Add(obj.FetchCost)
 		t.fetchRate.Add(obj.FetchCost)
 		t.cacheBytes.Add(yield)
 		t.cacheRate.Add(yield)
+		t.wanRate.Add(obj.FetchCost)
+	}
+}
+
+// ObserveDecide records the wall time one Policy.Access call took in
+// the core.decide_seconds histogram (observed in nanoseconds).
+func (t *Telemetry) ObserveDecide(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.decide.Observe(int64(d))
+}
+
+// RecordShadow charges WAN traffic a shadow baseline would have
+// incurred for one access.
+func (t *Telemetry) RecordShadow(baseline string, wan int64) {
+	if t == nil || wan == 0 {
+		return
+	}
+	t.shadowWAN.Add(baseline, wan)
+}
+
+// RecordOptBound advances the ski-rental lower bound by delta bytes
+// (the increment of Σ_i min(accumulated bypass cost_i, f_i)).
+func (t *Telemetry) RecordOptBound(delta int64) {
+	if t == nil || delta <= 0 {
+		return
+	}
+	t.optBoundBytes.Add(delta)
+	t.optRate.Add(delta)
+}
+
+// PublishSavings sets the live bytes-saved-vs-baseline gauges:
+// counterfactual WAN minus realized WAN (negative when the policy is
+// doing worse than the baseline).
+func (t *Telemetry) PublishSavings(vsBypass, vsLRUK int64) {
+	if t == nil {
+		return
+	}
+	t.savedVsBypass.Set(vsBypass)
+	t.savedVsLRUK.Set(vsLRUK)
+}
+
+// PublishCompetitive sets the competitive-ratio gauges, in
+// thousandths (gauges are integers): the lifetime ratio from the
+// running totals, and the windowed ratio from the recent WAN and
+// bound rates. A zero denominator leaves the gauge at 0.
+func (t *Telemetry) PublishCompetitive(realizedWAN, bound int64) {
+	if t == nil {
+		return
+	}
+	if bound > 0 {
+		t.compRatio.Set(realizedWAN * 1000 / bound)
+	}
+	if br := t.optRate.PerSecond(); br > 0 {
+		t.compRatioWindow.Set(int64(t.wanRate.PerSecond() / br * 1000))
 	}
 }
 

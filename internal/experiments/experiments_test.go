@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 )
 
 // suite is shared across tests: trace generation dominates runtime,
@@ -58,6 +59,34 @@ func TestSuiteObsAttach(t *testing.T) {
 	dy := snap.CounterValue("core.yield_bytes", "")
 	if ds+dc != dy {
 		t.Fatalf("D_A violated across suite: %d + %d != %d", ds, dc, dy)
+	}
+}
+
+func TestSuiteLedgerAndShadowAttach(t *testing.T) {
+	s := NewSuite(30)
+	s.Obs = obs.NewRegistry()
+	s.Ledger = ledger.New(1 << 16)
+	s.Shadow = true
+	if _, err := s.Run("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Obs.Snapshot()
+	decisions := snap.CounterTotal("core.decisions")
+	if decisions == 0 {
+		t.Fatal("suite recorded no decisions")
+	}
+	if got := s.Ledger.Count(); got != uint64(decisions) {
+		t.Fatalf("ledger count = %d, want one record per decision (%d)", got, decisions)
+	}
+	// Shadow accounting published through the registry: the
+	// always-bypass counterfactual's WAN is every simulation's yield
+	// total, so its counter must match core.yield_bytes.
+	shadowWAN := snap.CounterValue("core.shadow_wan_bytes", "always-bypass")
+	if dy := snap.CounterValue("core.yield_bytes", ""); shadowWAN != dy {
+		t.Fatalf("always-bypass shadow WAN = %d, want Σ yields = %d", shadowWAN, dy)
+	}
+	if snap.CounterValue("core.optbound_bytes", "") <= 0 {
+		t.Fatal("ski-rental bound not published")
 	}
 }
 

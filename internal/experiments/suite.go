@@ -7,6 +7,7 @@ import (
 	"bypassyield/internal/core"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/trace"
 	"bypassyield/internal/workload"
 )
@@ -30,6 +31,16 @@ type Suite struct {
 	// counters from every simulation the suite runs. Nil (the
 	// default) keeps simulation unobserved and allocation-free.
 	Obs *obs.Registry
+	// Ledger, when set, receives one DecisionRecord per simulated
+	// access, across every simulation the suite runs. Simulations
+	// share the ring; attach a ledger.Sink to separate or persist
+	// them.
+	Ledger *ledger.Ledger
+	// Shadow, when true, runs the online counterfactual baselines
+	// (always-bypass, LRU-K) alongside every simulation. Shadow
+	// savings and competitive-ratio gauges publish through Obs when
+	// both are set.
+	Shadow bool
 
 	traces map[string][]core.Request
 	raw    map[string][]trace.Record
@@ -191,6 +202,10 @@ func (s *Suite) simulate(p core.Policy, reqs []core.Request, objs map[core.Objec
 	sim := &core.Simulator{
 		Policy: p, Objects: objs, CurveStride: stride,
 		Telemetry: core.NewTelemetry(s.Obs),
+		Ledger:    s.Ledger,
+	}
+	if s.Shadow {
+		sim.Shadows = core.NewShadowSet(p.Capacity())
 	}
 	return sim.Run(reqs)
 }

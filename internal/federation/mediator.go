@@ -9,6 +9,7 @@ import (
 	"bypassyield/internal/engine"
 	"bypassyield/internal/netcost"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/sqlparse"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	// families (see core.NewTelemetry). The registry is shared — the
 	// proxy serves it over MsgMetrics.
 	Obs *obs.Registry
+	// Ledger, when non-nil, receives one explained DecisionRecord per
+	// object access (served over MsgDecisions by the proxy).
+	Ledger *ledger.Ledger
+	// Shadows enables online counterfactual accounting: every access is
+	// replayed through always-bypass and LRU-K shadow baselines plus
+	// the ski-rental bound, feeding the core.bytes_saved_vs_* gauges.
+	Shadows bool
 }
 
 // Mediator is the federation entry point the paper collocates with
@@ -50,6 +58,10 @@ type Mediator struct {
 	objsTouched   *obs.Counter
 	queriesMet    *obs.Counter
 	lastEvictions int64
+
+	// Decision audit trail (nil-safe no-ops when not configured).
+	ledger  *ledger.Ledger
+	shadows *core.ShadowSet
 }
 
 // AccessDecision records the cache's handling of one object access
@@ -96,9 +108,18 @@ func New(cfg Config) (*Mediator, error) {
 		queryLatency: cfg.Obs.Histogram("federation.query_latency_us", obs.DefaultLatencyBuckets()),
 		objsTouched:  cfg.Obs.Counter("federation.objects_touched"),
 		queriesMet:   cfg.Obs.Counter("federation.queries"),
+		ledger:       cfg.Ledger,
 	}
 	if ts, ok := cfg.Policy.(core.TelemetrySetter); ok && cfg.Obs != nil {
 		ts.SetTelemetry(m.tel)
+	}
+	if cfg.Shadows {
+		var capacity int64
+		if cfg.Policy != nil {
+			capacity = cfg.Policy.Capacity()
+		}
+		m.shadows = core.NewShadowSet(capacity)
+		m.shadows.SetTelemetry(m.tel)
 	}
 	return m, nil
 }
@@ -123,6 +144,12 @@ func (m *Mediator) Policy() core.Policy { return m.cfg.Policy }
 // Accounting returns the accumulated flow accounting.
 func (m *Mediator) Accounting() core.Accounting { return m.acct }
 
+// Ledger returns the decision ledger (nil when not configured).
+func (m *Mediator) Ledger() *ledger.Ledger { return m.ledger }
+
+// Shadows returns the counterfactual shadow set (nil when disabled).
+func (m *Mediator) Shadows() *core.ShadowSet { return m.shadows }
+
 // Clock returns the number of queries mediated so far.
 func (m *Mediator) Clock() int64 { return m.t }
 
@@ -137,6 +164,13 @@ func (m *Mediator) Query(sql string) (*QueryReport, error) {
 
 // QueryStmt is Query over a pre-parsed statement.
 func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryReport, error) {
+	return m.QueryStmtTraced(sql, stmt, "")
+}
+
+// QueryStmtTraced is QueryStmt carrying the distributed trace id of
+// the enclosing query; ledger records emitted for its accesses carry
+// the id, linking span waterfalls to the decisions inside them.
+func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceID string) (*QueryReport, error) {
 	start := time.Now()
 	b, err := engine.Bind(m.cfg.Schema, stmt)
 	if err != nil {
@@ -162,12 +196,18 @@ func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryRepor
 		}
 		d := core.Bypass
 		if m.cfg.Policy != nil {
+			decideStart := time.Now()
 			d = m.cfg.Policy.Access(m.t, obj, acc.Yield)
+			m.tel.ObserveDecide(time.Since(decideStart))
 		}
 		if err := core.Account(&m.acct, obj, acc.Yield, d); err != nil {
 			return nil, err
 		}
 		m.tel.RecordAccess(policyName, obj, acc.Yield, d)
+		m.shadows.Access(m.t, obj, acc.Yield, d)
+		if m.ledger != nil {
+			m.ledger.Record(core.DecisionRecordFor(m.t, m.cfg.Policy, traceID, obj, acc.Yield, d))
+		}
 		m.objsTouched.Add(1)
 		rep.Decisions = append(rep.Decisions, AccessDecision{
 			Object:   acc.Object,

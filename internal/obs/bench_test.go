@@ -1,6 +1,10 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+
+	"bypassyield/internal/obs/ledger"
+)
 
 // The registry sits on every hot path of the federation — per-frame,
 // per-access, per-row-scan — so increments and observations must not
@@ -43,6 +47,22 @@ func TestHotPathAllocFree(t *testing.T) {
 		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
 			t.Errorf("%s allocates %.1f per op, want 0", tc.name, allocs)
 		}
+	}
+
+	// Decision ledger: recording into a nil ledger (the disabled
+	// default) must be free; an enabled ring without a sink may spend
+	// at most one allocation per record.
+	var off2 *ledger.Ledger
+	rec := ledger.DecisionRecord{
+		Policy: "rate-profile", Object: "edr/photoobj.ra", Action: "hit",
+		Yield: 1 << 20, Size: 1 << 20, FetchCost: 1 << 20, RP: 0.5,
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { off2.Record(rec) }); allocs != 0 {
+		t.Errorf("disabled Ledger.Record allocates %.1f per op, want 0", allocs)
+	}
+	led := ledger.New(1024)
+	if allocs := testing.AllocsPerRun(1000, func() { led.Record(rec) }); allocs > 1 {
+		t.Errorf("enabled Ledger.Record allocates %.1f per op, want ≤ 1", allocs)
 	}
 }
 
@@ -124,6 +144,27 @@ func BenchmarkTracedSpanRing(b *testing.B) {
 		root := tr.Root("q")
 		tr.Child(root.Context(), "leg").End()
 		root.End()
+	}
+}
+
+func BenchmarkLedgerRecord(b *testing.B) {
+	led := ledger.New(4096)
+	rec := ledger.DecisionRecord{
+		Policy: "rate-profile", Object: "edr/photoobj.ra", Action: "hit",
+		Yield: 1 << 20, Size: 1 << 20, FetchCost: 1 << 20, RP: 0.5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		led.Record(rec)
+	}
+}
+
+func BenchmarkLedgerRecordDisabled(b *testing.B) {
+	var led *ledger.Ledger
+	rec := ledger.DecisionRecord{Policy: "rate-profile", Object: "o", Action: "bypass"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		led.Record(rec)
 	}
 }
 

@@ -1,0 +1,351 @@
+// Package ledger is the decision ledger of the bypass-yield cache:
+// a bounded, lock-free ring of structured DecisionRecords — one per
+// policy decision — with an optional JSONL sink for durable audit
+// logs. Where the obs registry answers "how much" (aggregate byte
+// counters, rates, histograms), the ledger answers "why": every
+// record carries the inputs that drove the serve/load/bypass choice
+// (RP, LAR, BYU, episode state, fetch cost, size) plus the realized
+// yield and WAN charge, correlated to the distributed trace the
+// access rode in on.
+//
+// Design constraints mirror package obs:
+//
+//   - Record is lock-free and costs at most one allocation: a slot is
+//     claimed with one atomic add and an immutable copy of the record
+//     is published with one atomic pointer store. A nil *Ledger is a
+//     valid no-op, so call sites thread it unconditionally.
+//   - Snapshot never blocks writers: a claimed-but-unpublished slot,
+//     or one overwritten by a ring wrap mid-read, is detected by its
+//     sequence number and skipped — bounded imprecision, bought for a
+//     lock-free hot path.
+//
+// The package deliberately depends on nothing above the standard
+// library so every layer (core, wire, cmd) can import it freely.
+package ledger
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DecisionRecord explains one policy decision. Numeric fields are the
+// decision's inputs at the moment it was taken; which are meaningful
+// depends on the policy (RP/LAR/episodes for rate-profile, BYU for
+// online-by). String fields are either interned constants ("hit",
+// reason codes) or ids that already existed at the call site, so
+// building a record does not allocate.
+type DecisionRecord struct {
+	// Seq is the ledger sequence number (1-based, assigned by Record).
+	Seq uint64 `json:"seq"`
+	// T is the query clock (the mediator's statement counter).
+	T int64 `json:"t"`
+	// Policy names the deciding policy ("rate-profile", ...).
+	Policy string `json:"policy,omitempty"`
+	// Trace is the distributed trace id of the enclosing query (16 hex
+	// digits, "" when untraced) — the join key to span waterfalls.
+	Trace string `json:"trace,omitempty"`
+	// Object is the decided object's id.
+	Object string `json:"object"`
+	// Action is the chosen decision: "hit", "bypass", or "load".
+	Action string `json:"action"`
+	// Yield is the realized yield of the access in bytes.
+	Yield int64 `json:"yield"`
+	// WANCost is the WAN traffic the decision charged: 0 for a hit,
+	// the cost-scaled yield for a bypass, the fetch cost for a load.
+	WANCost int64 `json:"wan_cost"`
+	// Size is the object's size s_i in bytes.
+	Size int64 `json:"size"`
+	// FetchCost is the object's load cost f_i in bytes.
+	FetchCost int64 `json:"fetch_cost"`
+	// RP is the object's measured in-cache rate profile (eq. 3) — the
+	// realized savings rate — at decision time; meaningful on hits and
+	// for eviction comparisons.
+	RP float64 `json:"rp,omitempty"`
+	// LAR is the candidate's load-adjusted rate (eqs. 4-6) — the
+	// predicted savings rate had it been loaded; meaningful on
+	// bypass/load decisions of profile-driven policies.
+	LAR float64 `json:"lar,omitempty"`
+	// BYU is the ski-rental accumulator normalized by object size (the
+	// paper's byte-yield-utility accumulator of Figure 2); meaningful
+	// for online-by.
+	BYU float64 `json:"byu,omitempty"`
+	// VictimRP is the best (maximum) rate profile among the would-be
+	// eviction victims the candidate was compared against.
+	VictimRP float64 `json:"victim_rp,omitempty"`
+	// Episodes counts the object's completed out-of-cache episodes.
+	Episodes int64 `json:"episodes,omitempty"`
+	// EpisodePhase is "open" while the object is inside an episode
+	// burst, "closed" otherwise.
+	EpisodePhase string `json:"episode_phase,omitempty"`
+	// Reason is a compact code naming the rule that fired (see the
+	// core package's Reason* constants).
+	Reason string `json:"reason,omitempty"`
+}
+
+// Sink consumes records as they are written (in addition to the
+// ring). Implementations must tolerate concurrent calls.
+type Sink interface {
+	Record(DecisionRecord)
+}
+
+// Ledger is the bounded decision ring. Construct with New; the zero
+// value and nil are valid no-op ledgers.
+type Ledger struct {
+	slots []slot
+	seq   atomic.Uint64
+	sink  Sink // set before recording starts; nil = ring only
+}
+
+type slot struct {
+	// rec points at an immutable record: writers publish a fresh copy
+	// with one atomic store, readers load without synchronizing. This
+	// costs one allocation per record but keeps the hot path lock-free
+	// and race-free under the Go memory model (a seqlock over a plain
+	// struct copy would not be).
+	rec atomic.Pointer[DecisionRecord]
+}
+
+// New returns a ledger retaining the most recent n records (n is
+// clamped to at least 1).
+func New(n int) *Ledger {
+	if n < 1 {
+		n = 1
+	}
+	return &Ledger{slots: make([]slot, n)}
+}
+
+// SetSink attaches a sink that receives every record in addition to
+// the ring (e.g. a JSONL audit log). Call before recording starts;
+// the sink's cost lands on the recording path.
+func (l *Ledger) SetSink(s Sink) {
+	if l == nil {
+		return
+	}
+	l.sink = s
+}
+
+// Cap returns the ring capacity (0 on a nil ledger).
+func (l *Ledger) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// Count returns the total number of records ever written (0 on a nil
+// ledger); records older than Count-Cap have been overwritten.
+func (l *Ledger) Count() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq.Load()
+}
+
+// Record appends one record, overwriting the oldest when the ring is
+// full. The record's Seq field is assigned here. No-op on a nil
+// ledger; one allocation per record (the published copy).
+func (l *Ledger) Record(rec DecisionRecord) {
+	if l == nil {
+		return
+	}
+	seq := l.seq.Add(1)
+	rec.Seq = seq
+	// Copy into a fresh heap record here, after the nil check, so the
+	// disabled path stays allocation-free (taking &rec directly would
+	// heap-allocate the parameter on every call).
+	p := new(DecisionRecord)
+	*p = rec
+	l.slots[(seq-1)%uint64(len(l.slots))].rec.Store(p)
+	if l.sink != nil {
+		l.sink.Record(rec)
+	}
+}
+
+// Snapshot returns the retained records oldest-first. A slot whose
+// writer has claimed a sequence number but not yet published is
+// skipped, so under heavy concurrent recording the result may briefly
+// miss a record. Nil on a nil or empty ledger.
+func (l *Ledger) Snapshot() []DecisionRecord {
+	if l == nil {
+		return nil
+	}
+	seq := l.seq.Load()
+	if seq == 0 {
+		return nil
+	}
+	n := uint64(len(l.slots))
+	lo := uint64(1)
+	if seq > n {
+		lo = seq - n + 1
+	}
+	out := make([]DecisionRecord, 0, seq-lo+1)
+	for s := lo; s <= seq; s++ {
+		rec := l.slots[(s-1)%n].rec.Load()
+		if rec == nil || rec.Seq != s {
+			continue // unpublished, or already overwritten by a wrap
+		}
+		out = append(out, *rec)
+	}
+	return out
+}
+
+// Query filters a record set. Zero fields match everything.
+type Query struct {
+	// Object matches the record's object id exactly.
+	Object string
+	// Action matches "hit", "bypass", or "load".
+	Action string
+	// Trace matches the record's trace id.
+	Trace string
+	// Limit keeps only the most recent N matches (0 = all).
+	Limit int
+}
+
+// Match reports whether one record satisfies the query's filters
+// (Limit is applied by Filter, not here).
+func (q Query) Match(r DecisionRecord) bool {
+	if q.Object != "" && r.Object != q.Object {
+		return false
+	}
+	if q.Action != "" && r.Action != q.Action {
+		return false
+	}
+	if q.Trace != "" && r.Trace != q.Trace {
+		return false
+	}
+	return true
+}
+
+// Filter applies a query to records (assumed oldest-first), returning
+// matches oldest-first, trimmed to the most recent Limit.
+func Filter(recs []DecisionRecord, q Query) []DecisionRecord {
+	out := make([]DecisionRecord, 0, len(recs))
+	for _, r := range recs {
+		if q.Match(r) {
+			out = append(out, r)
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// ObjectRegret aggregates one object's ledger records against its
+// per-object offline bound.
+type ObjectRegret struct {
+	// Object is the object id.
+	Object string `json:"object"`
+	// Accesses counts the object's records.
+	Accesses int64 `json:"accesses"`
+	// RealizedWAN is the WAN traffic the policy actually charged.
+	RealizedWAN int64 `json:"realized_wan"`
+	// Bound is the object's offline ski-rental bound ignoring cache
+	// capacity: min(all-bypass cost, one fetch) — no policy can do
+	// better for this object in isolation.
+	Bound int64 `json:"bound"`
+	// Regret is RealizedWAN − Bound: the WAN bytes an omniscient
+	// per-object strategy would have saved.
+	Regret int64 `json:"regret"`
+}
+
+// Regret computes per-object regret from ledger records, sorted by
+// descending regret: the objects where the policy left the most WAN
+// traffic on the table. The bound is the ski-rental optimum per
+// object (rent forever vs. buy once), so regret is an upper estimate
+// — a capacity-constrained OPT may not achieve it for every object
+// simultaneously.
+func Regret(recs []DecisionRecord) []ObjectRegret {
+	type agg struct {
+		accesses   int64
+		realized   int64
+		bypassCost int64 // what all-bypass would have paid
+		fetch      int64
+		loaded     bool
+	}
+	byObj := map[string]*agg{}
+	for _, r := range recs {
+		a := byObj[r.Object]
+		if a == nil {
+			a = &agg{fetch: r.FetchCost}
+			byObj[r.Object] = a
+		}
+		a.accesses++
+		a.realized += r.WANCost
+		a.bypassCost += bypassEquivalent(r)
+		if r.Action == "load" {
+			a.loaded = true
+		}
+	}
+	out := make([]ObjectRegret, 0, len(byObj))
+	for obj, a := range byObj {
+		bound := a.bypassCost
+		if a.fetch > 0 && a.fetch < bound {
+			bound = a.fetch
+		}
+		out = append(out, ObjectRegret{
+			Object:      obj,
+			Accesses:    a.accesses,
+			RealizedWAN: a.realized,
+			Bound:       bound,
+			Regret:      a.realized - bound,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Regret != out[j].Regret {
+			return out[i].Regret > out[j].Regret
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// bypassEquivalent is the WAN cost the access would have incurred had
+// it been bypassed: the record's own charge for a bypass, the
+// cost-scaled yield for hits and loads.
+func bypassEquivalent(r DecisionRecord) int64 {
+	if r.Action == "bypass" {
+		return r.WANCost
+	}
+	if r.Size > 0 && r.FetchCost != r.Size {
+		return int64(float64(r.Yield) * float64(r.FetchCost) / float64(r.Size))
+	}
+	return r.Yield
+}
+
+// JSONL is a sink appending one JSON object per record, for offline
+// audit of daemon runs (byproxyd -ledger-out).
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONL wraps a writer.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, enc: json.NewEncoder(w)}
+}
+
+// Record implements Sink. Encoding errors are dropped: the ledger
+// must never fail the decision it describes.
+func (j *JSONL) Record(r DecisionRecord) {
+	j.mu.Lock()
+	j.enc.Encode(r) //nolint:errcheck
+	j.mu.Unlock()
+}
+
+// Close closes the underlying writer when it is an io.Closer. Nil-safe.
+func (j *JSONL) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func rec(obj, action string, yield, wan int64) DecisionRecord {
+	return DecisionRecord{
+		Object:    obj,
+		Action:    action,
+		Yield:     yield,
+		WANCost:   wan,
+		Size:      1000,
+		FetchCost: 1000,
+	}
+}
+
+func TestNilLedgerIsNoOp(t *testing.T) {
+	var l *Ledger
+	l.Record(rec("o1", "hit", 10, 0)) // must not panic
+	l.SetSink(NewJSONL(&bytes.Buffer{}))
+	if got := l.Snapshot(); got != nil {
+		t.Fatalf("nil ledger Snapshot = %v, want nil", got)
+	}
+	if l.Count() != 0 || l.Cap() != 0 {
+		t.Fatalf("nil ledger Count/Cap = %d/%d, want 0/0", l.Count(), l.Cap())
+	}
+}
+
+func TestLedgerSequenceAndSnapshot(t *testing.T) {
+	l := New(8)
+	for i := 0; i < 5; i++ {
+		l.Record(rec("o1", "bypass", int64(i), int64(i)))
+	}
+	if l.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", l.Count())
+	}
+	recs := l.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("Snapshot len = %d, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: Seq = %d, want %d (oldest-first)", i, r.Seq, i+1)
+		}
+		if r.Yield != int64(i) {
+			t.Fatalf("record %d: Yield = %d, want %d", i, r.Yield, i)
+		}
+	}
+}
+
+func TestLedgerRingWrap(t *testing.T) {
+	l := New(4)
+	for i := 1; i <= 10; i++ {
+		l.Record(rec("o1", "hit", int64(i), 0))
+	}
+	recs := l.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4 (ring capacity)", len(recs))
+	}
+	// Only the 4 most recent survive, oldest-first: seqs 7..10.
+	for i, r := range recs {
+		want := uint64(7 + i)
+		if r.Seq != want {
+			t.Fatalf("record %d: Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+func TestLedgerCapClamp(t *testing.T) {
+	l := New(0)
+	if l.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamp to 1", l.Cap())
+	}
+	l.Record(rec("a", "hit", 1, 0))
+	l.Record(rec("b", "hit", 2, 0))
+	recs := l.Snapshot()
+	if len(recs) != 1 || recs[0].Object != "b" {
+		t.Fatalf("Snapshot = %+v, want only the latest record", recs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(16)
+	l.Record(DecisionRecord{Object: "o1", Action: "bypass", Trace: "aa"})
+	l.Record(DecisionRecord{Object: "o2", Action: "load", Trace: "aa"})
+	l.Record(DecisionRecord{Object: "o1", Action: "hit", Trace: "bb"})
+	l.Record(DecisionRecord{Object: "o1", Action: "hit", Trace: "bb"})
+	recs := l.Snapshot()
+
+	if got := Filter(recs, Query{Object: "o1"}); len(got) != 3 {
+		t.Fatalf("object filter: %d matches, want 3", len(got))
+	}
+	if got := Filter(recs, Query{Action: "hit"}); len(got) != 2 {
+		t.Fatalf("action filter: %d matches, want 2", len(got))
+	}
+	if got := Filter(recs, Query{Trace: "aa"}); len(got) != 2 {
+		t.Fatalf("trace filter: %d matches, want 2", len(got))
+	}
+	if got := Filter(recs, Query{Object: "o1", Action: "hit", Trace: "bb"}); len(got) != 2 {
+		t.Fatalf("combined filter: %d matches, want 2", len(got))
+	}
+	got := Filter(recs, Query{Object: "o1", Limit: 2})
+	if len(got) != 2 || got[0].Action != "hit" || got[1].Action != "hit" {
+		t.Fatalf("limit filter: %+v, want the 2 most recent o1 records", got)
+	}
+}
+
+func TestRegret(t *testing.T) {
+	// o1: bypassed 3 times at 400 each (realized WAN 1200) but one
+	// fetch costs 1000 — regret 200.
+	// o2: loaded once (WAN 1000) then hit for 10 — all-bypass would
+	// have paid 500+10=510 < fetch, bound 510, regret 490.
+	// o3: one cheap bypass of 50 — bound 50, regret 0.
+	recs := []DecisionRecord{
+		{Object: "o1", Action: "bypass", Yield: 400, WANCost: 400, Size: 1000, FetchCost: 1000},
+		{Object: "o1", Action: "bypass", Yield: 400, WANCost: 400, Size: 1000, FetchCost: 1000},
+		{Object: "o1", Action: "bypass", Yield: 400, WANCost: 400, Size: 1000, FetchCost: 1000},
+		{Object: "o2", Action: "load", Yield: 500, WANCost: 1000, Size: 1000, FetchCost: 1000},
+		{Object: "o2", Action: "hit", Yield: 10, WANCost: 0, Size: 1000, FetchCost: 1000},
+		{Object: "o3", Action: "bypass", Yield: 50, WANCost: 50, Size: 1000, FetchCost: 1000},
+	}
+	regrets := Regret(recs)
+	if len(regrets) != 3 {
+		t.Fatalf("len = %d, want 3", len(regrets))
+	}
+	// Sorted by descending regret: o2 (490), o1 (200), o3 (0).
+	want := []ObjectRegret{
+		{Object: "o2", Accesses: 2, RealizedWAN: 1000, Bound: 510, Regret: 490},
+		{Object: "o1", Accesses: 3, RealizedWAN: 1200, Bound: 1000, Regret: 200},
+		{Object: "o3", Accesses: 1, RealizedWAN: 50, Bound: 50, Regret: 0},
+	}
+	for i, w := range want {
+		if regrets[i] != w {
+			t.Fatalf("regrets[%d] = %+v, want %+v", i, regrets[i], w)
+		}
+	}
+}
+
+func TestRegretNonuniformCost(t *testing.T) {
+	// FetchCost 2x size: a hit's bypass-equivalent is yield * f/s.
+	recs := []DecisionRecord{
+		{Object: "o1", Action: "load", Yield: 100, WANCost: 2000, Size: 1000, FetchCost: 2000},
+		{Object: "o1", Action: "hit", Yield: 500, WANCost: 0, Size: 1000, FetchCost: 2000},
+	}
+	r := Regret(recs)[0]
+	// all-bypass = 100*2 + 500*2 = 1200 < fetch 2000 → bound 1200.
+	if r.Bound != 1200 {
+		t.Fatalf("Bound = %d, want 1200", r.Bound)
+	}
+	if r.Regret != 2000-1200 {
+		t.Fatalf("Regret = %d, want 800", r.Regret)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(4)
+	l.SetSink(NewJSONL(&buf))
+	// More records than the ring holds: the sink sees all of them.
+	for i := 1; i <= 6; i++ {
+		l.Record(DecisionRecord{T: int64(i), Object: "o1", Action: "bypass", Yield: int64(i * 10)})
+	}
+	sc := bufio.NewScanner(&buf)
+	var n int
+	for sc.Scan() {
+		var r DecisionRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		n++
+		if r.Seq != uint64(n) || r.Yield != int64(n*10) {
+			t.Fatalf("line %d: Seq=%d Yield=%d", n, r.Seq, r.Yield)
+		}
+		if r.Trace != "" {
+			t.Fatalf("untraced record marshaled Trace = %q, want omitted/empty", r.Trace)
+		}
+	}
+	if n != 6 {
+		t.Fatalf("sink saw %d records, want 6", n)
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := New(64)
+	const writers, perWriter = 8, 500
+	done := make(chan struct{})
+	// Concurrent snapshots must never observe torn records: every
+	// returned record must be internally consistent (Yield == T*10).
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, r := range l.Snapshot() {
+				if r.Yield != r.T*10 {
+					t.Errorf("torn record: T=%d Yield=%d", r.T, r.Yield)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Record(DecisionRecord{T: int64(i), Yield: int64(i) * 10, Object: "o", Action: "hit"})
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	if l.Count() != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", l.Count(), writers*perWriter)
+	}
+	if got := len(l.Snapshot()); got > 64 {
+		t.Fatalf("Snapshot len = %d, want ≤ 64", got)
+	}
+}

@@ -27,12 +27,23 @@ func goldenSnapshot() Snapshot {
 		},
 		Gauges: []GaugeSnap{
 			{Name: "cache.used_bytes", Value: 9000},
+			{Name: "core.bytes_saved_vs_bypass", Value: 524288},
+			// Negative: a shadow baseline can beat the live policy, so
+			// signed gauge rendering is load-bearing.
+			{Name: "core.bytes_saved_vs_lruk", Value: -2048},
 		},
 		Rates: []RateSnap{
 			{Name: "core.bypass_bytes_rate", PerSecond: 1234.5, WindowSeconds: 15},
 			{Name: "core.query_rate", PerSecond: 0, WindowSeconds: 15},
 		},
 		Histograms: []HistogramSnap{
+			{
+				// Decision latency in nanoseconds (core.DecideBuckets).
+				Name:   "core.decide_seconds",
+				Bounds: []int64{100, 250, 500, 1000, 2500},
+				Counts: []int64{0, 3, 5, 1, 0, 1}, // 1 in overflow
+				Sum:    4242, Count: 10,
+			},
 			{
 				Name: "wire.rpc_latency_us", Label: "photo.sdss.org",
 				Bounds: []int64{50, 100, 200},

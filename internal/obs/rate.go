@@ -69,9 +69,15 @@ func (r *Rate) Add(n int64) {
 }
 
 // PerSecond returns the windowed rate: the sum over live slots divided
-// by the wall time they cover. The current (partial) slot contributes
-// its elapsed fraction, so the rate responds immediately instead of
-// lagging one full slot. Returns 0 on a nil or never-touched rate.
+// by the wall time elapsed since the oldest live slot began. Anchoring
+// the denominator to wall time (not just the touched slots) makes the
+// rate decay through idle periods: a burst followed by silence reads
+// progressively lower on each scrape and reaches 0 once the burst
+// leaves the window, instead of reporting full burst intensity until
+// falling off a cliff at the window edge. The current (partial) slot
+// contributes its elapsed fraction, so the rate also responds
+// immediately. Returns 0 on a nil, never-touched, or >window-idle
+// rate.
 func (r *Rate) PerSecond() float64 {
 	if r == nil {
 		return 0
@@ -80,7 +86,7 @@ func (r *Rate) PerSecond() float64 {
 	cur := now / r.interval
 	oldest := cur - int64(len(r.slots)) + 1
 	var total int64
-	var covered int64 // ns of window the summed slots span
+	minEpoch := int64(-1) // oldest live slot seen
 	for i := range r.slots {
 		s := &r.slots[i]
 		e := s.epoch.Load()
@@ -88,14 +94,14 @@ func (r *Rate) PerSecond() float64 {
 			continue // stale (not yet recycled) or empty slot
 		}
 		total += s.sum.Load()
-		if e == cur {
-			if part := now % r.interval; part > 0 {
-				covered += part
-			}
-		} else {
-			covered += r.interval
+		if minEpoch < 0 || e < minEpoch {
+			minEpoch = e
 		}
 	}
+	if minEpoch < 0 {
+		return 0 // nothing recorded inside the window
+	}
+	covered := now - minEpoch*r.interval // ns since the oldest live slot began
 	if covered <= 0 {
 		return 0
 	}

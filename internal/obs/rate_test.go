@@ -52,6 +52,46 @@ func TestRateWindowExpiry(t *testing.T) {
 	}
 }
 
+func TestRateIdleDecay(t *testing.T) {
+	// Regression for window-boundary staleness: a burst followed by
+	// idleness must decay on each scrape, not hold full burst
+	// intensity until it falls off the window edge.
+	r, now := fakeRate(time.Second, 4, int64(20*time.Second))
+	r.Add(900) // epoch 20
+	*now += int64(time.Second)
+	if got := r.PerSecond(); got != 900 {
+		t.Fatalf("after 1s: rate = %f, want 900", got)
+	}
+	*now += int64(2 * time.Second) // 3s since the burst slot began
+	if got := r.PerSecond(); got != 300 {
+		t.Fatalf("after 3s idle: rate = %f, want 300 (decayed)", got)
+	}
+	*now += int64(900 * time.Millisecond) // 3.9s: still inside the 4s window
+	if got := r.PerSecond(); got >= 300 || got <= 0 {
+		t.Fatalf("after 3.9s idle: rate = %f, want decayed below 300 but nonzero", got)
+	}
+}
+
+func TestRateIdlePastWindowReadsZero(t *testing.T) {
+	// A scrape after more than a full window of idleness reports 0.
+	r, now := fakeRate(time.Second, 4, int64(20*time.Second))
+	r.Add(900)
+	*now += int64(4 * time.Second) // exactly one window later
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("at window edge: rate = %f, want 0", got)
+	}
+	*now += int64(30 * time.Second) // far past the window
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("past window: rate = %f, want 0", got)
+	}
+	// The tracker still works after the idle gap.
+	r.Add(40)
+	*now += int64(2 * time.Second)
+	if got := r.PerSecond(); got != 20 {
+		t.Fatalf("post-idle add: rate = %f, want 20", got)
+	}
+}
+
 func TestRateNilAndDegenerate(t *testing.T) {
 	var r *Rate
 	r.Add(5)

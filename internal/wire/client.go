@@ -98,6 +98,17 @@ func (c *Client) Stats() (*StatsResultMsg, error) {
 	return &res, nil
 }
 
+// Decisions fetches recent decision-ledger records from the proxy,
+// filtered by the query's object/action/trace fields, plus the shadow
+// counterfactual accounting.
+func (c *Client) Decisions(q DecisionsMsg) (*DecisionsResultMsg, error) {
+	var res DecisionsResultMsg
+	if err := c.roundTrip(MsgDecisions, q, MsgDecisionsResult, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 // Metrics fetches a daemon's observability snapshot (proxies and
 // database nodes both answer).
 func (c *Client) Metrics() (*MetricsResultMsg, error) {

@@ -42,6 +42,11 @@ const (
 	MsgMetrics MsgType = 8
 	// MsgMetricsResult returns the snapshot.
 	MsgMetricsResult MsgType = 9
+	// MsgDecisions asks the proxy for recent decision-ledger records,
+	// optionally filtered by object, action, or trace id.
+	MsgDecisions MsgType = 10
+	// MsgDecisionsResult returns the matching ledger records.
+	MsgDecisionsResult MsgType = 11
 )
 
 // String names a message type for metric labels and diagnostics.
@@ -65,6 +70,10 @@ func (t MsgType) String() string {
 		return "metrics"
 	case MsgMetricsResult:
 		return "metrics_result"
+	case MsgDecisions:
+		return "decisions"
+	case MsgDecisionsResult:
+		return "decisions_result"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"testing"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
+)
+
+// testLedgerFederation is testFederation with a decision ledger and
+// shadow counterfactual accounting wired into the mediator.
+func testLedgerFederation(t *testing.T, policy core.Policy, gran federation.Granularity) (*Client, func()) {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := func(string, ...any) {}
+
+	sites := map[string]bool{}
+	for i := range s.Tables {
+		sites[s.Tables[i].Site] = true
+	}
+	var nodes []*DBNode
+	addrs := map[string]string{}
+	for site := range sites {
+		n := NewDBNode(site, db)
+		n.SetLogf(quiet)
+		addr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		addrs[site] = addr
+	}
+
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db, Policy: policy, Granularity: gran,
+		Obs:     obs.NewRegistry(),
+		Ledger:  ledger.New(4096),
+		Shadows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := NewProxy(med, gran, addrs)
+	proxy.SetLogf(quiet)
+	paddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, func() {
+		client.Close()
+		proxy.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+// TestEndToEndLedgerReconcile is the acceptance test of the decision
+// ledger and counterfactual accounting: replaying a workload through
+// proxy+nodes must yield (1) a ledger whose per-decision realized
+// yields sum to D_A and whose WAN charges sum to D_S + D_L, and
+// (2) a shadow always-bypass counterfactual whose total traffic minus
+// realized traffic equals the exported core.bytes_saved_vs_bypass
+// gauge.
+func TestEndToEndLedgerReconcile(t *testing.T) {
+	cap := catalog.EDR().TotalBytes()
+	client, shutdown := testLedgerFederation(t,
+		core.NewRateProfile(core.RateProfileConfig{Capacity: cap}), federation.Columns)
+	defer shutdown()
+
+	// Mixed workload: repeats of a fat query drive bypass → load →
+	// hit; a second query touches the other site.
+	for i := 0; i < 8; i++ {
+		if _, err := client.Query("select ra, dec from photoobj where ra between 0 and 350"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Query("select z from specobj where z < 3"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := client.Decisions(DecisionsMsg{Limit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := st.Acct
+
+	if dec.Total != uint64(acct.Accesses) {
+		t.Fatalf("ledger total = %d, want one record per access (%d)", dec.Total, acct.Accesses)
+	}
+	if len(dec.Records) != int(acct.Accesses) {
+		t.Fatalf("ledger returned %d records, want %d", len(dec.Records), acct.Accesses)
+	}
+
+	// (1) Ledger reconciliation: Σ yields = D_A, Σ WAN costs = D_S+D_L.
+	var sumYield, sumWAN int64
+	actions := map[string]int64{}
+	for _, r := range dec.Records {
+		sumYield += r.Yield
+		sumWAN += r.WANCost
+		actions[r.Action]++
+		if r.Policy != "rate-profile" {
+			t.Fatalf("record policy = %q: %+v", r.Policy, r)
+		}
+		if r.Reason == "" {
+			t.Fatalf("record carries no reason: %+v", r)
+		}
+	}
+	if sumYield != acct.DeliveredBytes() {
+		t.Fatalf("Σ ledger yields = %d, want D_A = %d", sumYield, acct.DeliveredBytes())
+	}
+	if sumWAN != acct.WANBytes() {
+		t.Fatalf("Σ ledger WAN = %d, want D_S+D_L = %d", sumWAN, acct.WANBytes())
+	}
+	if actions["hit"] != acct.Hits || actions["bypass"] != acct.Bypasses || actions["load"] != acct.Loads {
+		t.Fatalf("ledger action counts %v, want hits=%d bypasses=%d loads=%d",
+			actions, acct.Hits, acct.Bypasses, acct.Loads)
+	}
+
+	// (2) Shadow identity: always-bypass traffic − realized traffic ==
+	// exported core.bytes_saved_vs_bypass. The always-bypass shadow's
+	// WAN is the raw yield total (uniform network), so the identity is
+	// checkable from first principles too.
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bypassShadow *core.ShadowResult
+	for i := range dec.Baselines {
+		if dec.Baselines[i].Name == "always-bypass" {
+			bypassShadow = &dec.Baselines[i]
+		}
+	}
+	if bypassShadow == nil {
+		t.Fatalf("no always-bypass baseline in %+v", dec.Baselines)
+	}
+	if got := bypassShadow.Acct.WANBytes(); got != acct.YieldBytes {
+		t.Fatalf("always-bypass shadow WAN = %d, want sequence cost %d", got, acct.YieldBytes)
+	}
+	wantSaved := bypassShadow.Acct.WANBytes() - acct.WANBytes()
+	if bypassShadow.SavedBytes != wantSaved {
+		t.Fatalf("baseline SavedBytes = %d, want %d", bypassShadow.SavedBytes, wantSaved)
+	}
+	if got := m.Snapshot.GaugeValue("core.bytes_saved_vs_bypass"); got != wantSaved {
+		t.Fatalf("core.bytes_saved_vs_bypass = %d, want %d", got, wantSaved)
+	}
+	// The workload re-reads the same columns, so caching must have won.
+	if wantSaved <= 0 {
+		t.Fatalf("bytes saved vs bypass = %d, want positive for a hit-heavy workload", wantSaved)
+	}
+
+	// Ski-rental bound sanity: 0 < bound ≤ realized WAN, ratio ≥ 1.
+	if dec.OptBoundBytes <= 0 || dec.OptBoundBytes > acct.WANBytes() {
+		t.Fatalf("optbound = %d, want in (0, %d]", dec.OptBoundBytes, acct.WANBytes())
+	}
+	if dec.CompetitiveRatioMilli < 1000 {
+		t.Fatalf("competitive ratio = %d milli, want ≥ 1000", dec.CompetitiveRatioMilli)
+	}
+	if got := m.Snapshot.CounterValue("core.optbound_bytes", ""); got != dec.OptBoundBytes {
+		t.Fatalf("core.optbound_bytes = %d, want %d", got, dec.OptBoundBytes)
+	}
+
+	// Decision latency histogram: one observation per access.
+	h, ok := m.Snapshot.HistogramSnap("core.decide_seconds", "")
+	if !ok || h.Count != acct.Accesses {
+		t.Fatalf("core.decide_seconds count = %d (ok=%v), want %d", h.Count, ok, acct.Accesses)
+	}
+}
+
+// TestLedgerFilterAndTraceCorrelation exercises the MsgDecisions
+// filters: action filters must agree with the accounting, and records
+// for a traced query must carry its trace id.
+func TestLedgerFilterAndTraceCorrelation(t *testing.T) {
+	cap := catalog.EDR().TotalBytes()
+	client, shutdown := testLedgerFederation(t,
+		core.NewRateProfile(core.RateProfileConfig{Capacity: cap}), federation.Columns)
+	defer shutdown()
+
+	for i := 0; i < 5; i++ {
+		if _, err := client.Query("select ra from photoobj where ra between 0 and 350"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One traced query: its ledger records must carry the trace id.
+	ctx := obs.TraceContext{TraceID: obs.NewID(), SpanID: obs.NewID()}
+	if _, err := client.QueryTraced("select ra from photoobj where ra between 0 and 350", ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := client.Decisions(DecisionsMsg{Action: "load"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(loads.Records)) != st.Acct.Loads {
+		t.Fatalf("action=load filter returned %d records, want %d", len(loads.Records), st.Acct.Loads)
+	}
+
+	byObj, err := client.Decisions(DecisionsMsg{Object: "edr/photoobj.ra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byObj.Records) != 6 {
+		t.Fatalf("object filter returned %d records, want 6", len(byObj.Records))
+	}
+
+	traced, err := client.Decisions(DecisionsMsg{Trace: obs.FormatID(ctx.TraceID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Records) != 1 {
+		t.Fatalf("trace filter returned %d records, want 1", len(traced.Records))
+	}
+	if traced.Records[0].Object != "edr/photoobj.ra" || traced.Records[0].Action != "hit" {
+		t.Fatalf("traced record = %+v", traced.Records[0])
+	}
+	// Untraced queries' records carry no trace id.
+	all, err := client.Decisions(DecisionsMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marked int
+	for _, r := range all.Records {
+		if r.Trace != "" {
+			marked++
+		}
+	}
+	if marked != 1 {
+		t.Fatalf("%d records carry a trace id, want exactly 1", marked)
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bypassyield/internal/core"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 )
 
 // QueryMsg carries a SQL statement. TraceID/ParentSpan propagate the
@@ -86,6 +87,37 @@ type MetricsResultMsg struct {
 	Source string `json:"source"`
 	// Snapshot is the registry contents.
 	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// DecisionsMsg requests recent decision-ledger records. Empty filter
+// fields match everything; Limit ≤ 0 selects the server default.
+type DecisionsMsg struct {
+	// Object filters by exact object id.
+	Object string `json:"object,omitempty"`
+	// Action filters by decision ("hit", "bypass", "load").
+	Action string `json:"action,omitempty"`
+	// Trace filters by the 16-hex-digit trace id.
+	Trace string `json:"trace,omitempty"`
+	// Limit caps the returned records (most recent kept).
+	Limit int `json:"limit,omitempty"`
+}
+
+// DecisionsResultMsg returns matching ledger records plus shadow
+// counterfactual accounting for audits.
+type DecisionsResultMsg struct {
+	// Total is the number of decisions ever recorded (records older
+	// than the ring capacity have been overwritten).
+	Total uint64 `json:"total"`
+	// Records are the matching records, oldest first.
+	Records []ledger.DecisionRecord `json:"records"`
+	// Baselines carries the online counterfactual results (empty when
+	// shadow accounting is disabled).
+	Baselines []core.ShadowResult `json:"baselines,omitempty"`
+	// OptBoundBytes is the running ski-rental lower bound on WAN
+	// traffic (0 when shadow accounting is disabled).
+	OptBoundBytes int64 `json:"optbound_bytes,omitempty"`
+	// CompetitiveRatioMilli is 1000 · realized WAN / bound.
+	CompetitiveRatioMilli int64 `json:"competitive_ratio_milli,omitempty"`
 }
 
 // StatsResultMsg returns the proxy's state: the paper's flow

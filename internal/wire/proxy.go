@@ -15,6 +15,7 @@ import (
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/sqlparse"
 )
 
@@ -219,7 +220,13 @@ func (p *Proxy) serveConn(conn net.Conn) {
 			// client shipped its own trace context (Child degrades to
 			// Root on a zero parent).
 			span := p.tracer.Child(q.TraceContext(), "proxy.query")
-			res, err := p.handleQuery(q.SQL, span.Context())
+			ctx := span.Context()
+			if ctx.TraceID == 0 {
+				// Tracing disabled: still propagate the client's trace
+				// id so ledger records stay correlated.
+				ctx.TraceID = q.TraceContext().TraceID
+			}
+			res, err := p.handleQuery(q.SQL, ctx)
 			if err != nil {
 				span.End(obs.A("error", err.Error()))
 				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
@@ -232,6 +239,13 @@ func (p *Proxy) serveConn(conn net.Conn) {
 			p.send(conn, MsgResult, res)
 		case MsgStats:
 			p.send(conn, MsgStatsResult, p.stats())
+		case MsgDecisions:
+			var q DecisionsMsg
+			if err := Decode(body, &q); err != nil {
+				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
+				continue
+			}
+			p.send(conn, MsgDecisionsResult, p.decisions(q))
 		case MsgMetrics:
 			p.send(conn, MsgMetricsResult, MetricsResultMsg{
 				Source:   "byproxyd",
@@ -257,7 +271,9 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 		return nil, err
 	}
 	mspan := p.tracer.Child(ctx, "proxy.mediate")
-	rep, err := p.med.QueryStmt(sql, stmt)
+	// The trace id rides into the mediator so decision-ledger records
+	// carry it; FormatID(0) is "" so untraced queries stay unmarked.
+	rep, err := p.med.QueryStmtTraced(sql, stmt, obs.FormatID(ctx.TraceID))
 	if err != nil {
 		mspan.End(obs.A("error", err.Error()))
 		return nil, err
@@ -475,6 +491,46 @@ func endSpan(span obs.Span, err error) {
 		return
 	}
 	span.End()
+}
+
+// Decision-ledger serving bounds: a filterless scrape returns the
+// most recent DefaultDecisionLimit records; explicit limits are capped
+// at MaxDecisionLimit to keep response frames under MaxFrame.
+const (
+	DefaultDecisionLimit = 256
+	MaxDecisionLimit     = 4096
+)
+
+// decisions serves a ledger scrape: snapshot the ring (lock-free with
+// respect to recording), apply the filter, and attach the shadow
+// counterfactuals. An unconfigured ledger yields an empty result, not
+// an error, so byinspect degrades gracefully.
+func (p *Proxy) decisions(q DecisionsMsg) DecisionsResultMsg {
+	p.mu.Lock()
+	led := p.med.Ledger()
+	shadows := p.med.Shadows()
+	msg := DecisionsResultMsg{
+		Total:                 led.Count(),
+		Baselines:             shadows.Baselines(),
+		OptBoundBytes:         shadows.OptBound(),
+		CompetitiveRatioMilli: int64(shadows.CompetitiveRatio() * 1000),
+	}
+	p.mu.Unlock()
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultDecisionLimit
+	}
+	if limit > MaxDecisionLimit {
+		limit = MaxDecisionLimit
+	}
+	msg.Records = ledger.Filter(led.Snapshot(), ledger.Query{
+		Object: q.Object,
+		Action: q.Action,
+		Trace:  q.Trace,
+		Limit:  limit,
+	})
+	return msg
 }
 
 // stats snapshots the proxy state.
