@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke
+.PHONY: all build vet test race bench-smoke chaos fuzz-smoke
 
 all: vet test
 
@@ -15,6 +15,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fault-tolerance suite under the race detector: deterministic
+# fault injection (internal/faultnet), the per-site circuit breaker,
+# the mediator's degraded-mode accounting, and the 3-site black-hole
+# end-to-end cycle.
+chaos:
+	$(GO) test -race -v ./internal/faultnet/
+	$(GO) test -race -v -run 'TestChaos|TestBreaker|TestSiteUnavailable|TestDegraded|TestHealthDetached' \
+		./internal/wire/ ./internal/federation/
+
+# A bounded fuzz of the frame reader: corrupt headers and truncated
+# bodies must never panic or over-allocate.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire/
 
 # A fast allocation/throughput smoke over the hot paths: the obs
 # registry (must stay allocation-free) and one end-to-end experiment.

@@ -17,19 +17,22 @@ import (
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/engine"
+	"bypassyield/internal/faultnet"
 	"bypassyield/internal/obs"
 	"bypassyield/internal/wire"
 )
 
 // options bundles the node's tunables (one per flag).
 type options struct {
-	release  string
-	site     string
-	addr     string
-	sample   int64
-	seed     int64
-	traceOut string // JSONL span log path ("" disables)
-	httpAddr string // telemetry plane listen address ("" disables)
+	release   string
+	site      string
+	addr      string
+	sample    int64
+	seed      int64
+	traceOut  string // JSONL span log path ("" disables)
+	httpAddr  string // telemetry plane listen address ("" disables)
+	chaos     string // faultnet plan applied to inbound conns ("" disables)
+	chaosSeed int64
 }
 
 func main() {
@@ -41,6 +44,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "data synthesis seed (must match the proxy's)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "append execute/fetch spans as JSONL to this file")
 	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /healthz, /debug/pprof on this address")
+	flag.StringVar(&o.chaos, "chaos", "", "fault-injection plan for inbound connections, e.g. 'latency=50ms,reset=0.1' or 'blackhole after=5s for=10s' (see internal/faultnet)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the chaos plan's randomness")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -71,6 +76,7 @@ type daemon struct {
 	node  *wire.DBNode
 	http  *obs.HTTPServer // nil when -http is unset
 	sink  *obs.JSONL      // nil when -trace-out is unset
+	plan  *faultnet.Plan  // nil when -chaos is unset
 	bound string
 }
 
@@ -78,6 +84,9 @@ type daemon struct {
 // spans still land — flushes and closes the span log.
 func (d *daemon) Close() error {
 	err := d.node.Close()
+	if d.plan != nil {
+		d.plan.Stop()
+	}
 	if d.http != nil {
 		if herr := d.http.Close(); err == nil {
 			err = herr
@@ -109,6 +118,16 @@ func start(o options) (*daemon, error) {
 	}
 	node := wire.NewDBNode(o.site, db)
 	d := &daemon{node: node}
+	if o.chaos != "" {
+		plan, err := faultnet.ParsePlan(o.chaos, o.chaosSeed)
+		if err != nil {
+			return nil, err
+		}
+		plan.Start()
+		inj := plan.Injector(o.site)
+		node.SetConnWrapper(inj.Conn)
+		d.plan = plan
+	}
 	if o.traceOut != "" {
 		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -14,7 +14,7 @@ import (
 // (filterable by object, action, or trace id), a per-action summary,
 // savings versus each baseline, and the top regret contributors.
 func runDecisions(w io.Writer, addr string, q wire.DecisionsMsg, top int, asJSON bool) error {
-	c, err := wire.Dial(addr)
+	c, err := wire.DialTimeout(addr, dialTimeout)
 	if err != nil {
 		return err
 	}

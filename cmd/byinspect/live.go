@@ -9,11 +9,15 @@ import (
 	"bypassyield/internal/wire"
 )
 
+// dialTimeout bounds every live-scrape connect; main overrides it from
+// -dial-timeout.
+var dialTimeout = wire.DefaultDialTimeout
+
 // runLive scrapes a MsgMetrics snapshot from a running byproxyd or
 // bydbd and renders it — raw JSON with -json, otherwise a table
 // grouped by metric family with quantile summaries for histograms.
 func runLive(w io.Writer, addr string, asJSON bool) error {
-	c, err := wire.Dial(addr)
+	c, err := wire.DialTimeout(addr, dialTimeout)
 	if err != nil {
 		return err
 	}

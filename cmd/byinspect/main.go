@@ -40,6 +40,8 @@ func main() {
 		watch  = flag.Duration("watch", 0, "with -addr, re-scrape at this interval and show deltas")
 		spans  = flag.String("spans", "", "comma-separated daemon span logs (-trace-out files) to merge into trace waterfalls")
 
+		dialTO = flag.Duration("dial-timeout", wire.DefaultDialTimeout, "with -addr, connect timeout")
+
 		decisions = flag.Bool("decisions", false, "with -addr, show the proxy's decision ledger and counterfactual baselines")
 		object    = flag.String("object", "", "with -decisions, filter records by exact object id")
 		action    = flag.String("action", "", "with -decisions, filter records by action (hit, bypass, load)")
@@ -47,6 +49,7 @@ func main() {
 		limit     = flag.Int("limit", 0, "with -decisions, cap returned records (0 = server default)")
 	)
 	flag.Parse()
+	dialTimeout = *dialTO
 
 	var err error
 	switch {

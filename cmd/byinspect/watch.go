@@ -18,7 +18,7 @@ func runWatch(w io.Writer, addr string, interval time.Duration, rounds int) erro
 	if interval <= 0 {
 		interval = time.Second
 	}
-	c, err := wire.Dial(addr)
+	c, err := wire.DialTimeout(addr, dialTimeout)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
 	"bypassyield/internal/engine"
+	"bypassyield/internal/faultnet"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
 	"bypassyield/internal/obs/ledger"
@@ -43,6 +45,15 @@ type options struct {
 	traceOut   string        // JSONL span log path ("" disables)
 	httpAddr   string        // telemetry plane listen address ("" disables)
 
+	dialTimeout    time.Duration // node connect timeout
+	breakThreshold int           // consecutive failures that open a site's breaker
+	breakBackoff   time.Duration // first open-state backoff
+	breakMax       time.Duration // backoff doubling cap
+	probeInterval  time.Duration // half-open probe cadence
+	rpcRetries     int           // extra node RPC attempts before giving up
+	chaos          string        // faultnet plan applied to node dials ("" disables)
+	chaosSeed      int64
+
 	ledgerCap int64  // decision-ledger ring capacity (0 disables)
 	ledgerOut string // JSONL decision log path ("" disables)
 	shadow    bool   // run counterfactual shadow baselines
@@ -59,6 +70,15 @@ func main() {
 	flag.Int64Var(&o.sample, "sample", 1000, "materialize 1 of every N logical rows")
 	flag.Int64Var(&o.seed, "seed", 1, "data synthesis seed (must match the nodes')")
 	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", wire.DefaultRPCTimeout, "deadline for node RPCs (0 disables)")
+	bdef := wire.DefaultBreakerConfig()
+	flag.DurationVar(&o.dialTimeout, "dial-timeout", wire.DefaultDialTimeout, "connect timeout for node dials")
+	flag.IntVar(&o.breakThreshold, "breaker-threshold", bdef.FailureThreshold, "consecutive RPC failures that open a site's circuit breaker")
+	flag.DurationVar(&o.breakBackoff, "breaker-backoff", bdef.BaseBackoff, "initial open-state backoff before the first half-open probe")
+	flag.DurationVar(&o.breakMax, "breaker-max-backoff", bdef.MaxBackoff, "cap on the breaker's doubling backoff")
+	flag.DurationVar(&o.probeInterval, "probe-interval", bdef.ProbeInterval, "how often the prober checks open breakers for due probes")
+	flag.IntVar(&o.rpcRetries, "rpc-retries", bdef.RetryBudget, "extra attempts per node RPC before the failure counts")
+	flag.StringVar(&o.chaos, "chaos", "", "fault-injection plan for node connections, e.g. 'spec.sdss.org:blackhole after=5s for=10s' (see internal/faultnet)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the chaos plan's randomness")
 	flag.StringVar(&o.traceOut, "trace-out", "", "append per-query spans as JSONL to this file")
 	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /healthz, /debug/pprof on this address")
 	flag.Int64Var(&o.ledgerCap, "ledger", 4096, "decision-ledger ring capacity in records (0 disables)")
@@ -95,6 +115,7 @@ type daemon struct {
 	http   *obs.HTTPServer // nil when -http is unset
 	sink   *obs.JSONL      // nil when -trace-out is unset
 	ledger *ledger.JSONL   // nil when -ledger-out is unset
+	plan   *faultnet.Plan  // nil when -chaos is unset
 	bound  string
 	desc   string
 }
@@ -104,6 +125,9 @@ type daemon struct {
 // JSONL logs.
 func (d *daemon) Close() error {
 	err := d.proxy.Close()
+	if d.plan != nil {
+		d.plan.Stop()
+	}
 	if d.http != nil {
 		if herr := d.http.Close(); err == nil {
 			err = herr
@@ -186,7 +210,32 @@ func start(o options) (*daemon, error) {
 
 	proxy := wire.NewProxy(med, g, nodeAddrs)
 	proxy.SetRPCTimeout(o.rpcTimeout)
+	proxy.SetDialTimeout(o.dialTimeout)
+	bcfg := wire.DefaultBreakerConfig()
+	bcfg.FailureThreshold = o.breakThreshold
+	bcfg.BaseBackoff = o.breakBackoff
+	bcfg.MaxBackoff = o.breakMax
+	bcfg.ProbeInterval = o.probeInterval
+	bcfg.RetryBudget = o.rpcRetries
+	bcfg.Seed = o.seed
+	proxy.SetBreakerConfig(bcfg)
 	d := &daemon{proxy: proxy, ledger: ledSink}
+	if o.chaos != "" {
+		plan, err := faultnet.ParsePlan(o.chaos, o.chaosSeed)
+		if err != nil {
+			ledSink.Close()
+			return nil, err
+		}
+		plan.Start()
+		proxy.SetDialer(func(site, addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, o.dialTimeout)
+			if err != nil {
+				return nil, err
+			}
+			return plan.Injector(site).Conn(c), nil
+		})
+		d.plan = plan
+	}
 	if o.traceOut != "" {
 		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -16,26 +16,28 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bypassyield/internal/wire"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "localhost:7100", "proxy address")
-		stats = flag.Bool("stats", false, "print proxy statistics and exit")
-		rows  = flag.Bool("rows", true, "print the sampled result rows")
+		addr   = flag.String("addr", "localhost:7100", "proxy address")
+		stats  = flag.Bool("stats", false, "print proxy statistics and exit")
+		rows   = flag.Bool("rows", true, "print the sampled result rows")
+		dialTO = flag.Duration("dial-timeout", wire.DefaultDialTimeout, "connect timeout")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *stats, *rows, flag.Args()); err != nil {
+	if err := run(*addr, *dialTO, *stats, *rows, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "byquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, stats, printRows bool, args []string) error {
-	client, err := wire.Dial(addr)
+func run(addr string, dialTimeout time.Duration, stats, printRows bool, args []string) error {
+	client, err := wire.DialTimeout(addr, dialTimeout)
 	if err != nil {
 		return err
 	}

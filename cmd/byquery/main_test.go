@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
@@ -37,10 +38,10 @@ func startProxy(t *testing.T) (string, func()) {
 func TestRunOneShotAndStats(t *testing.T) {
 	addr, stop := startProxy(t)
 	defer stop()
-	if err := run(addr, false, true, []string{"select", "ra", "from", "photoobj", "where", "ra", "<", "30"}); err != nil {
+	if err := run(addr, time.Second, false, true, []string{"select", "ra", "from", "photoobj", "where", "ra", "<", "30"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(addr, true, false, nil); err != nil {
+	if err := run(addr, time.Second, true, false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,13 +49,13 @@ func TestRunOneShotAndStats(t *testing.T) {
 func TestRunBadSQL(t *testing.T) {
 	addr, stop := startProxy(t)
 	defer stop()
-	if err := run(addr, false, false, []string{"not", "sql"}); err == nil {
+	if err := run(addr, time.Second, false, false, []string{"not", "sql"}); err == nil {
 		t.Fatal("bad SQL should error")
 	}
 }
 
 func TestRunDialError(t *testing.T) {
-	if err := run("127.0.0.1:1", false, false, []string{"select 1"}); err == nil {
+	if err := run("127.0.0.1:1", time.Second, false, false, []string{"select 1"}); err == nil {
 		t.Fatal("dial failure should error")
 	}
 }

@@ -33,16 +33,17 @@ func main() {
 		progress = flag.Int("progress", 500, "print progress every N queries (0 = quiet)")
 		audit    = flag.Bool("audit", false, "after replay, diff realized vs. counterfactual traffic from the proxy's ledger")
 		top      = flag.Int("top", 5, "with -audit, show the top-N regret contributors")
+		dialTO   = flag.Duration("dial-timeout", wire.DefaultDialTimeout, "connect timeout")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *path, *limit, *progress, *audit, *top); err != nil {
+	if err := run(*addr, *dialTO, *path, *limit, *progress, *audit, *top); err != nil {
 		fmt.Fprintln(os.Stderr, "byreplay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, limit, progress int, audit bool, top int) error {
+func run(addr string, dialTimeout time.Duration, path string, limit, progress int, audit bool, top int) error {
 	if path == "" {
 		return fmt.Errorf("-trace is required")
 	}
@@ -55,7 +56,7 @@ func run(addr, path string, limit, progress int, audit bool, top int) error {
 		recs = recs[:limit]
 	}
 
-	client, err := wire.Dial(addr)
+	client, err := wire.DialTimeout(addr, dialTimeout)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
@@ -56,7 +57,7 @@ func TestRunReplaysTrace(t *testing.T) {
 	}
 	addr, stop := startProxy(t)
 	defer stop()
-	if err := run(addr, path, 25, 0, false, 5); err != nil {
+	if err := run(addr, time.Second, path, 25, 0, false, 5); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -73,7 +74,7 @@ func TestRunAudit(t *testing.T) {
 	}
 	addr, stop := startProxy(t)
 	defer stop()
-	if err := run(addr, path, 25, 0, true, 5); err != nil {
+	if err := run(addr, time.Second, path, 25, 0, true, 5); err != nil {
 		t.Fatal(err)
 	}
 
@@ -100,11 +101,11 @@ func TestRunAudit(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("127.0.0.1:1", "", 0, 0, false, 5); err == nil {
+	if err := run("127.0.0.1:1", time.Second, "", 0, 0, false, 5); err == nil {
 		t.Fatal("missing trace should error")
 	}
 	addrless := filepath.Join(t.TempDir(), "absent.jsonl")
-	if err := run("127.0.0.1:1", addrless, 0, 0, false, 5); err == nil {
+	if err := run("127.0.0.1:1", time.Second, addrless, 0, 0, false, 5); err == nil {
 		t.Fatal("absent trace should error")
 	}
 }

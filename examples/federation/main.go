@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/core"
@@ -76,7 +77,7 @@ func run() error {
 	defer proxy.Close()
 	fmt.Printf("proxy %-16s %s (cache %d MB)\n\n", "mediator", paddr, capacity>>20)
 
-	client, err := wire.Dial(paddr)
+	client, err := wire.DialTimeout(paddr, 5*time.Second)
 	if err != nil {
 		return err
 	}

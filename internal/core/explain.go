@@ -64,6 +64,15 @@ const (
 	// ReasonAObjDeclined: the accumulator crossed 1 but A_obj declined
 	// to admit (or immediately evicted) the object.
 	ReasonAObjDeclined = "aobj-declined"
+
+	// ReasonForcedCache prefixes degraded-mode forced hits: the owning
+	// site was unavailable, bypass was impossible, and the cached copy
+	// was served stale. The full reason is
+	// "forced-cache: <site health detail>".
+	ReasonForcedCache = "forced-cache"
+	// ReasonFailedLeg prefixes dropped accesses: site unavailable and
+	// the object not cached, so the leg could not be served at all.
+	ReasonFailedLeg = "failed"
 )
 
 // SelfExplainer is an optional Policy interface: after Access returns,

@@ -25,6 +25,19 @@ import (
 //	core.episodes_opened      counter
 //	core.episodes_closed      counter
 //
+// Degraded-mode accounting (site breakers open, see the federation
+// mediator):
+//
+//	core.forced_decisions     counter family, label "<site>": accesses
+//	                          forced to serve-from-cache because the
+//	                          owning site was unavailable
+//	core.failed_legs          counter family, label "<site>": accesses
+//	                          dropped entirely (site down, not cached)
+//	core.degraded_queries     counter: queries with ≥ 1 forced or
+//	                          failed access
+//	core.stale_served_bytes   counter: yield served from cache with no
+//	                          freshness guarantee
+//
 // Sliding-window rates (the operational analogue of the paper's rate
 // profiles, eq. 3 — recent flow intensity rather than lifetime sums):
 //
@@ -65,6 +78,11 @@ type Telemetry struct {
 
 	episodesOpened *obs.Counter
 	episodesClosed *obs.Counter
+
+	forcedDecisions *obs.CounterFamily
+	failedLegs      *obs.CounterFamily
+	degradedQueries *obs.Counter
+	staleBytes      *obs.Counter
 
 	bypassRate *obs.Rate
 	fetchRate  *obs.Rate
@@ -114,10 +132,15 @@ func NewTelemetry(r *obs.Registry) *Telemetry {
 		yieldBytes:     r.Counter("core.yield_bytes"),
 		episodesOpened: r.Counter("core.episodes_opened"),
 		episodesClosed: r.Counter("core.episodes_closed"),
-		bypassRate:     r.Rate("core.bypass_bytes_rate"),
-		fetchRate:      r.Rate("core.fetch_bytes_rate"),
-		cacheRate:      r.Rate("core.cache_bytes_rate"),
-		queryRate:      r.Rate("core.query_rate"),
+
+		forcedDecisions: r.CounterFamily("core.forced_decisions"),
+		failedLegs:      r.CounterFamily("core.failed_legs"),
+		degradedQueries: r.Counter("core.degraded_queries"),
+		staleBytes:      r.Counter("core.stale_served_bytes"),
+		bypassRate:      r.Rate("core.bypass_bytes_rate"),
+		fetchRate:       r.Rate("core.fetch_bytes_rate"),
+		cacheRate:       r.Rate("core.cache_bytes_rate"),
+		queryRate:       r.Rate("core.query_rate"),
 
 		decide: r.Histogram("core.decide_seconds", DecideBuckets()),
 
@@ -158,6 +181,37 @@ func (t *Telemetry) RecordAccess(policy string, obj Object, yield int64, d Decis
 		t.cacheRate.Add(yield)
 		t.wanRate.Add(obj.FetchCost)
 	}
+}
+
+// RecordForced charges one forced serve-from-cache: the owning site
+// was unavailable, so the cached (possibly stale) copy was served.
+// The byte flows follow the Hit rules — the bytes really came from
+// the cache — on top of the degraded-mode counters.
+func (t *Telemetry) RecordForced(policy, site string, obj Object, yield int64) {
+	if t == nil {
+		return
+	}
+	t.forcedDecisions.Add(site, 1)
+	t.staleBytes.Add(yield)
+	t.RecordAccess(policy, obj, yield, Hit)
+}
+
+// RecordFailedLeg counts one dropped access: site down, object not
+// cached, nothing delivered and nothing charged.
+func (t *Telemetry) RecordFailedLeg(site string) {
+	if t == nil {
+		return
+	}
+	t.failedLegs.Add(site, 1)
+}
+
+// RecordDegradedQuery counts one query that had at least one forced
+// or failed access.
+func (t *Telemetry) RecordDegradedQuery() {
+	if t == nil {
+		return
+	}
+	t.degradedQueries.Add(1)
 }
 
 // ObserveDecide records the wall time one Policy.Access call took in

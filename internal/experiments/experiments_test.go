@@ -369,6 +369,39 @@ func TestXNetShape(t *testing.T) {
 	}
 }
 
+func TestXAvailShape(t *testing.T) {
+	tab, err := shared.Run("xavail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 4 outage levels × 2 policies", len(tab.Rows))
+	}
+	// Rows alternate rate-profile / no-cache per outage level.
+	for i := 0; i < len(tab.Rows); i += 2 {
+		outage := tab.Rows[i][0]
+		rp := cellFloat(t, tab, i, "availability")
+		nc := cellFloat(t, tab, i+1, "availability")
+		if outage == "0" {
+			if rp != 1 || nc != 1 {
+				t.Fatalf("availability at 0%% outage = %v/%v, want 1/1", rp, nc)
+			}
+			continue
+		}
+		// The cache masks part of every outage: strictly higher
+		// availability and some stale-served bytes.
+		if rp <= nc {
+			t.Fatalf("outage %s%%: rate-profile availability %v not above no-cache %v", outage, rp, nc)
+		}
+		if cellFloat(t, tab, i, "stale-served(GB)") <= 0 {
+			t.Fatalf("outage %s%%: no stale bytes served from cache", outage)
+		}
+		if cellFloat(t, tab, i+1, "stale-served(GB)") != 0 {
+			t.Fatalf("outage %s%%: no-cache served stale bytes", outage)
+		}
+	}
+}
+
 func TestXCompRatiosBounded(t *testing.T) {
 	tab, err := shared.Run("xcomp")
 	if err != nil {

@@ -20,7 +20,7 @@ import (
 
 // ExtensionIDs lists the extension experiment identifiers.
 func ExtensionIDs() []string {
-	return []string{"xsem", "xnet", "xcomp", "xhier", "xview", "xscale"}
+	return []string{"xsem", "xnet", "xcomp", "xhier", "xview", "xscale", "xavail"}
 }
 
 // runExtension dispatches extension ids; ok is false for unknown ids.
@@ -43,6 +43,9 @@ func (s *Suite) runExtension(id string) (*Table, bool, error) {
 		return t, true, err
 	case "xscale":
 		t, err := s.XScale()
+		return t, true, err
+	case "xavail":
+		t, err := s.XAvail()
 		return t, true, err
 	default:
 		return nil, false, nil

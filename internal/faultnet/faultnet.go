@@ -1,0 +1,327 @@
+// Package faultnet injects network faults into net.Conn and
+// net.Listener for chaos testing the federation: added latency,
+// bandwidth throttling, connection resets, black-holes (operations
+// that hang until a deadline fires or the connection closes), and
+// frame truncation/corruption. Faults are driven by a seeded PRNG so
+// a chaos run is reproducible, and the active fault set of an
+// Injector can be swapped at any time — tests black-hole a site
+// mid-run and later heal it with two calls to Set.
+//
+// The wrappers are deadline-aware: a black-holed Read or Write still
+// honors SetDeadline/SetReadDeadline/SetWriteDeadline, returning a
+// net.Error with Timeout() == true exactly as a kernel socket would.
+// An un-deadlined operation against a black-holed connection hangs
+// forever — which is the point: it is the failure mode DialTimeout
+// and RPC deadlines exist to defend against.
+//
+// Daemons opt in with the -chaos flag (see ParsePlan for the spec
+// grammar); tests construct Injectors directly.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults is one active fault set. The zero value injects nothing.
+type Faults struct {
+	// Latency is added to every Read and Write.
+	Latency time.Duration
+	// Jitter adds a seeded-random extra delay in [0, Jitter) on top of
+	// Latency.
+	Jitter time.Duration
+	// ThrottleBps caps throughput: each op sleeps n/ThrottleBps after
+	// moving n bytes. 0 disables.
+	ThrottleBps int64
+	// ResetProb is the per-operation probability of closing the
+	// connection and returning a reset error.
+	ResetProb float64
+	// CorruptProb is the per-Read probability of flipping one byte of
+	// the data moved — upstream parsers must reject the damage rather
+	// than panic.
+	CorruptProb float64
+	// TruncateProb is the per-Write probability of silently dropping
+	// the tail of the buffer while reporting full success — the peer
+	// hangs waiting for bytes that never arrive.
+	TruncateProb float64
+	// BlackHole hangs every Read and Write until the connection's
+	// deadline fires or it is closed.
+	BlackHole bool
+}
+
+// active reports whether the set injects anything at all.
+func (f Faults) active() bool {
+	return f.Latency > 0 || f.Jitter > 0 || f.ThrottleBps > 0 ||
+		f.ResetProb > 0 || f.CorruptProb > 0 || f.TruncateProb > 0 || f.BlackHole
+}
+
+// Injector applies one mutable fault set to any number of wrapped
+// connections. All methods are safe for concurrent use; Set swaps the
+// active faults for every existing and future wrapped conn.
+type Injector struct {
+	mu     sync.Mutex
+	f      Faults
+	rng    *rand.Rand
+	timers []*time.Timer
+}
+
+// NewInjector returns an injector with no active faults, whose random
+// decisions (jitter, reset/corrupt/truncate rolls, corruption offsets)
+// derive from seed.
+func NewInjector(seed int64) *Injector {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set replaces the active fault set. Nil-safe.
+func (i *Injector) Set(f Faults) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.f = f
+	i.mu.Unlock()
+}
+
+// Faults returns the active fault set (zero on a nil injector).
+func (i *Injector) Faults() Faults {
+	if i == nil {
+		return Faults{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.f
+}
+
+// Stop cancels any schedule timers attached by Plan.Start. Nil-safe.
+func (i *Injector) Stop() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	timers := i.timers
+	i.timers = nil
+	i.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}
+
+// roll returns true with probability p, using the seeded PRNG.
+func (i *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	i.mu.Lock()
+	v := i.rng.Float64()
+	i.mu.Unlock()
+	return v < p
+}
+
+// jitter returns a seeded-random duration in [0, d).
+func (i *Injector) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	i.mu.Lock()
+	v := time.Duration(i.rng.Int63n(int64(d)))
+	i.mu.Unlock()
+	return v
+}
+
+// intn returns a seeded-random int in [0, n).
+func (i *Injector) intn(n int) int {
+	i.mu.Lock()
+	v := i.rng.Intn(n)
+	i.mu.Unlock()
+	return v
+}
+
+// Conn wraps c so every operation passes through the injector's
+// active faults. Returns c unchanged on a nil injector.
+func (i *Injector) Conn(c net.Conn) net.Conn {
+	if i == nil {
+		return c
+	}
+	return &conn{Conn: c, inj: i, closed: make(chan struct{})}
+}
+
+// Listener wraps ln so every accepted connection is fault-injected.
+// Returns ln unchanged on a nil injector.
+func (i *Injector) Listener(ln net.Listener) net.Listener {
+	if i == nil {
+		return ln
+	}
+	return &listener{Listener: ln, inj: i}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Conn(c), nil
+}
+
+// conn is a fault-injected connection. Deadlines are mirrored locally
+// so black-holed operations can honor them without the underlying
+// socket's help.
+type conn struct {
+	net.Conn
+	inj *Injector
+
+	mu        sync.Mutex
+	readDL    time.Time
+	writeDL   time.Time
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// timeoutError satisfies net.Error with Timeout() == true, mirroring
+// what a kernel socket deadline produces.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// resetError models a peer connection reset.
+type resetError struct{}
+
+func (resetError) Error() string   { return "faultnet: connection reset" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return false }
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// stall blocks until the deadline fires or the connection closes —
+// the black-hole primitive. A zero deadline blocks until Close.
+func (c *conn) stall(dl time.Time) error {
+	var fire <-chan time.Time
+	if !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		fire = t.C
+	}
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-fire:
+		return timeoutError{}
+	}
+}
+
+// delay sleeps for the fault set's latency plus jitter, cut short by
+// connection close.
+func (c *conn) delay(f Faults) error {
+	d := f.Latency + c.inj.jitter(f.Jitter)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-t.C:
+		return nil
+	}
+}
+
+// throttle models a bandwidth cap: moving n bytes takes at least
+// n/bps seconds.
+func (c *conn) throttle(f Faults, n int) {
+	if f.ThrottleBps <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(f.ThrottleBps) * float64(time.Second))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	f := c.inj.Faults()
+	if f.BlackHole {
+		c.mu.Lock()
+		dl := c.readDL
+		c.mu.Unlock()
+		return 0, c.stall(dl)
+	}
+	if err := c.delay(f); err != nil {
+		return 0, err
+	}
+	if c.inj.roll(f.ResetProb) {
+		c.Close()
+		return 0, resetError{}
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && c.inj.roll(f.CorruptProb) {
+		b[c.inj.intn(n)] ^= 0xff
+	}
+	c.throttle(f, n)
+	return n, err
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	f := c.inj.Faults()
+	if f.BlackHole {
+		c.mu.Lock()
+		dl := c.writeDL
+		c.mu.Unlock()
+		return 0, c.stall(dl)
+	}
+	if err := c.delay(f); err != nil {
+		return 0, err
+	}
+	if c.inj.roll(f.ResetProb) {
+		c.Close()
+		return 0, resetError{}
+	}
+	if len(b) > 1 && c.inj.roll(f.TruncateProb) {
+		// Drop the tail but report full success: the peer starves.
+		if _, err := c.Conn.Write(b[:len(b)/2]); err != nil {
+			return 0, err
+		}
+		return len(b), nil
+	}
+	n, err := c.Conn.Write(b)
+	c.throttle(f, n)
+	return n, err
+}

@@ -1,0 +1,336 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns a faulted client side and the plain server side of an
+// in-memory connection pair.
+func pipe(t *testing.T, inj *Injector) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return inj.Conn(a), b
+}
+
+func TestNoFaultsPassThrough(t *testing.T) {
+	inj := NewInjector(42)
+	c, peer := pipe(t, inj)
+	go func() {
+		buf := make([]byte, 5)
+		peer.Read(buf)
+		peer.Write(buf)
+	}()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("round trip = %q", buf)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Set(Faults{Latency: 30 * time.Millisecond})
+	c, peer := pipe(t, inj)
+	go peer.Read(make([]byte, 1))
+	start := time.Now()
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write took %v, want >= 30ms latency", d)
+	}
+}
+
+func TestBlackHoleHonorsDeadline(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Set(Faults{BlackHole: true})
+	c, _ := pipe(t, inj)
+	c.SetDeadline(time.Now().Add(40 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want net.Error with Timeout()", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("blackhole read returned after %v, want ~40ms", d)
+	}
+	// Writes stall the same way.
+	c.SetWriteDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := c.Write([]byte{1}); err == nil {
+		t.Fatal("blackhole write succeeded")
+	}
+}
+
+func TestBlackHoleUnblocksOnClose(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Set(Faults{BlackHole: true})
+	c, _ := pipe(t, inj)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed read did not unblock on Close")
+	}
+}
+
+func TestHealMidRun(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Set(Faults{BlackHole: true})
+	c, peer := pipe(t, inj)
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read through blackhole succeeded")
+	}
+	// Heal: the same wrapped conn works again.
+	inj.Set(Faults{})
+	c.SetReadDeadline(time.Time{})
+	go peer.Write([]byte{7})
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil || buf[0] != 7 {
+		t.Fatalf("post-heal read = %v %v", buf, err)
+	}
+}
+
+func TestResetAlways(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Set(Faults{ResetProb: 1})
+	c, _ := pipe(t, inj)
+	_, err := c.Write([]byte{1})
+	if err == nil {
+		t.Fatal("write through reset fault succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || ne.Timeout() {
+		t.Fatalf("err = %v, want non-timeout net.Error", err)
+	}
+	// The conn is closed after a reset; subsequent ops fail fast.
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after reset succeeded")
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	inj := NewInjector(7)
+	inj.Set(Faults{CorruptProb: 1})
+	c, peer := pipe(t, inj)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	go peer.Write(payload)
+	buf := make([]byte, len(payload))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < n; i++ {
+		if buf[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 (buf=%v)", diff, buf[:n])
+	}
+}
+
+func TestTruncateStarvesPeer(t *testing.T) {
+	inj := NewInjector(3)
+	inj.Set(Faults{TruncateProb: 1})
+	c, peer := pipe(t, inj)
+	payload := []byte("0123456789")
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, len(payload))
+		peer.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n := 0
+		for n < len(payload) {
+			m, err := peer.Read(buf[n:])
+			n += m
+			if err != nil {
+				break
+			}
+		}
+		got <- n
+	}()
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		// Truncation must LIE about success — that is the fault.
+		t.Fatalf("write = %d, %v; want full length, nil", n, err)
+	}
+	if received := <-got; received >= len(payload) {
+		t.Fatalf("peer received %d bytes, want fewer than %d", received, len(payload))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := NewInjector(seed)
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = inj.roll(0.5)
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at roll %d", i)
+		}
+	}
+	c := run(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical rolls")
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	inj := NewInjector(1)
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := inj.Listener(base)
+	defer ln.Close()
+	inj.Set(Faults{BlackHole: true})
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv := <-accepted
+	defer srv.Close()
+	srv.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := srv.Read(make([]byte, 1)); err == nil {
+		t.Fatal("accepted conn not fault-injected")
+	}
+}
+
+func TestNilInjectorPassThrough(t *testing.T) {
+	var inj *Injector
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if inj.Conn(a) != a {
+		t.Fatal("nil injector should return conn unchanged")
+	}
+	inj.Set(Faults{BlackHole: true}) // must not panic
+	inj.Stop()
+	if inj.Faults().active() {
+		t.Fatal("nil injector reports active faults")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("latency=20ms,jitter=5ms;spec.sdss.org:blackhole,after=10s,for=30s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(p.groups))
+	}
+	g0 := p.groups[0]
+	if g0.site != "" || g0.f.Latency != 20*time.Millisecond || g0.f.Jitter != 5*time.Millisecond {
+		t.Fatalf("group 0 = %+v", g0)
+	}
+	g1 := p.groups[1]
+	if g1.site != "spec.sdss.org" || !g1.f.BlackHole || g1.after != 10*time.Second || g1.for_ != 30*time.Second {
+		t.Fatalf("group 1 = %+v", g1)
+	}
+	// Site-scoped group wins over catch-all for its site.
+	if p.Injector("spec.sdss.org") != g1.inj {
+		t.Fatal("site lookup did not return scoped injector")
+	}
+	if p.Injector("photo.sdss.org") != g0.inj {
+		t.Fatal("unscoped site should fall back to catch-all")
+	}
+	if sites := p.Sites(); len(sites) != 1 || sites[0] != "spec.sdss.org" {
+		t.Fatalf("Sites() = %v", sites)
+	}
+}
+
+func TestParsePlanRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"latency",           // missing value
+		"latency=nope",      // bad duration
+		"reset=2",           // probability out of range
+		"blackhole=yes",     // blackhole takes no value
+		"bogus=1",           // unknown directive
+		"after=5s",          // schedule with no faults
+		"throttle=-1",       // non-positive throttle
+		"site.org:after=1s", // scoped group with no faults
+	} {
+		if _, err := ParsePlan(spec, 1); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestPlanSchedule(t *testing.T) {
+	p, err := ParsePlan("blackhole,after=30ms,for=40ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.Injector("any.site")
+	p.Start()
+	defer p.Stop()
+	if inj.Faults().BlackHole {
+		t.Fatal("faults active before `after` elapsed")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !inj.Faults().BlackHole {
+		if time.Now().After(deadline) {
+			t.Fatal("faults never activated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for inj.Faults().BlackHole {
+		if time.Now().After(deadline) {
+			t.Fatal("faults never healed after `for` window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPlanImmediateStart(t *testing.T) {
+	p, err := ParsePlan("latency=1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	if p.Injector("x").Faults().Latency != time.Millisecond {
+		t.Fatal("zero-delay group not active immediately after Start")
+	}
+}

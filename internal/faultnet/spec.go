@@ -1,0 +1,215 @@
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Plan is a parsed -chaos specification: one injector per site group,
+// each with optional scheduling (activate after a delay, heal after a
+// window). The zero-site group ("" key) applies to every connection
+// the daemon does not attribute to a named site.
+type Plan struct {
+	groups []*group
+}
+
+type group struct {
+	site  string
+	f     Faults
+	after time.Duration // delay before the faults activate
+	for_  time.Duration // window after activation; 0 = forever
+	inj   *Injector
+}
+
+// ParsePlan parses a -chaos flag value. Grammar, groups separated by
+// ';', directives by ',':
+//
+//	[site:]directive(,directive)*
+//
+// Directives: latency=DUR jitter=DUR throttle=BYTES reset=PROB
+// corrupt=PROB truncate=PROB blackhole after=DUR for=DUR
+//
+// Examples:
+//
+//	-chaos 'latency=20ms,jitter=5ms'
+//	-chaos 'spec.sdss.org:blackhole,after=10s,for=30s'
+//	-chaos 'photo.sdss.org:reset=0.05;meta.sdss.org:throttle=65536'
+//
+// A site prefix scopes the group to that site; without one the group
+// applies to all sites. The seed makes the probabilistic directives
+// reproducible.
+func ParsePlan(spec string, seed int64) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("faultnet: empty chaos spec")
+	}
+	p := &Plan{}
+	for gi, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		g := &group{}
+		// A site prefix is "host:directives"; distinguish from a bare
+		// directive list by checking the head for '='.
+		if idx := strings.Index(raw, ":"); idx >= 0 && !strings.Contains(raw[:idx], "=") {
+			g.site = strings.TrimSpace(raw[:idx])
+			raw = raw[idx+1:]
+		}
+		for _, d := range strings.Split(raw, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			key, val, hasVal := strings.Cut(d, "=")
+			if err := applyDirective(g, key, val, hasVal); err != nil {
+				return nil, fmt.Errorf("faultnet: group %d: %w", gi+1, err)
+			}
+		}
+		if !g.f.active() {
+			return nil, fmt.Errorf("faultnet: group %d (%q) injects no faults", gi+1, raw)
+		}
+		g.inj = NewInjector(seed + int64(gi))
+		p.groups = append(p.groups, g)
+	}
+	if len(p.groups) == 0 {
+		return nil, fmt.Errorf("faultnet: chaos spec has no groups")
+	}
+	return p, nil
+}
+
+func applyDirective(g *group, key, val string, hasVal bool) error {
+	needDur := func() (time.Duration, error) {
+		if !hasVal {
+			return 0, fmt.Errorf("%s needs a duration value", key)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("%s: bad duration %q", key, val)
+		}
+		return d, nil
+	}
+	needProb := func() (float64, error) {
+		if !hasVal {
+			return 0, fmt.Errorf("%s needs a probability value", key)
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return 0, fmt.Errorf("%s: bad probability %q (want 0..1)", key, val)
+		}
+		return p, nil
+	}
+	var err error
+	switch key {
+	case "latency":
+		g.f.Latency, err = needDur()
+	case "jitter":
+		g.f.Jitter, err = needDur()
+	case "throttle":
+		if !hasVal {
+			return fmt.Errorf("throttle needs a bytes/sec value")
+		}
+		var n int64
+		n, err = strconv.ParseInt(val, 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("throttle: bad bytes/sec %q", val)
+		}
+		g.f.ThrottleBps = n
+	case "reset":
+		g.f.ResetProb, err = needProb()
+	case "corrupt":
+		g.f.CorruptProb, err = needProb()
+	case "truncate":
+		g.f.TruncateProb, err = needProb()
+	case "blackhole":
+		if hasVal {
+			return fmt.Errorf("blackhole takes no value")
+		}
+		g.f.BlackHole = true
+	case "after":
+		g.after, err = needDur()
+	case "for":
+		g.for_, err = needDur()
+	default:
+		return fmt.Errorf("unknown directive %q", key)
+	}
+	return err
+}
+
+// Start arms each group's schedule: faults activate after their
+// `after` delay (immediately when zero) and heal after the `for`
+// window (never when zero). Call Stop to cancel pending transitions.
+func (p *Plan) Start() {
+	if p == nil {
+		return
+	}
+	for _, g := range p.groups {
+		g := g
+		arm := func() {
+			g.inj.Set(g.f)
+			if g.for_ > 0 {
+				t := time.AfterFunc(g.for_, func() { g.inj.Set(Faults{}) })
+				g.inj.mu.Lock()
+				g.inj.timers = append(g.inj.timers, t)
+				g.inj.mu.Unlock()
+			}
+		}
+		if g.after > 0 {
+			t := time.AfterFunc(g.after, arm)
+			g.inj.mu.Lock()
+			g.inj.timers = append(g.inj.timers, t)
+			g.inj.mu.Unlock()
+		} else {
+			arm()
+		}
+	}
+}
+
+// Stop cancels all pending schedule transitions. Already-active
+// faults stay active.
+func (p *Plan) Stop() {
+	if p == nil {
+		return
+	}
+	for _, g := range p.groups {
+		g.inj.Stop()
+	}
+}
+
+// Injector returns the injector governing site (nil when no group
+// matches — wrap-with-nil is a no-op, so callers can use the result
+// unconditionally). Site-scoped groups win over the catch-all.
+func (p *Plan) Injector(site string) *Injector {
+	if p == nil {
+		return nil
+	}
+	var catchAll *Injector
+	for _, g := range p.groups {
+		switch g.site {
+		case site:
+			if site != "" {
+				return g.inj
+			}
+			catchAll = g.inj
+		case "":
+			catchAll = g.inj
+		}
+	}
+	return catchAll
+}
+
+// Sites lists the named sites the plan scopes groups to.
+func (p *Plan) Sites() []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, g := range p.groups {
+		if g.site != "" {
+			out = append(out, g.site)
+		}
+	}
+	return out
+}

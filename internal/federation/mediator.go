@@ -42,6 +42,17 @@ type Config struct {
 	Shadows bool
 }
 
+// SiteHealth reports whether a federation site can currently serve
+// traffic. The proxy implements it over its per-site circuit
+// breakers; the mediator consults it before every decision so an
+// unreachable site degrades to serve-from-cache or a failed leg
+// instead of a doomed RPC.
+type SiteHealth interface {
+	// SiteAvailable reports whether the site admits traffic; when it
+	// does not, reason explains why ("breaker open site=X ...").
+	SiteAvailable(site string) (ok bool, reason string)
+}
+
 // Mediator is the federation entry point the paper collocates with
 // the proxy cache: it receives SQL, resolves it against the release,
 // executes it, decomposes the yield across referenced objects, and
@@ -51,6 +62,7 @@ type Mediator struct {
 	objects map[core.ObjectID]core.Object
 	acct    core.Accounting
 	t       int64
+	health  SiteHealth
 
 	// Telemetry (no-ops when cfg.Obs is nil).
 	tel           *core.Telemetry
@@ -71,10 +83,34 @@ type AccessDecision struct {
 	Object core.ObjectID
 	// Site is the owning federation site.
 	Site string
-	// Yield is the access's share of the query yield.
+	// Yield is the access's share of the query yield. On a failed leg
+	// it is the yield the leg would have delivered; nothing was
+	// charged for it.
 	Yield int64
-	// Decision is the cache's choice.
+	// Decision is the cache's choice (Hit for forced serves;
+	// meaningless when Failed).
 	Decision core.Decision
+	// Forced marks a serve-from-cache the policy did not choose
+	// freely: the owning site was unavailable, bypass was impossible,
+	// and the cached copy was served stale.
+	Forced bool
+	// Failed marks a leg dropped entirely: site unavailable and the
+	// object not cached.
+	Failed bool
+	// Reason explains a forced or failed decision
+	// ("forced-cache: breaker open site=B", ...).
+	Reason string
+}
+
+// SiteError annotates one unavailable site's impact on a query.
+type SiteError struct {
+	// Site is the unavailable federation member.
+	Site string
+	// Reason is the health detail ("breaker open site=B retry-in=2s").
+	Reason string
+	// LostBytes is the yield dropped from the result because the
+	// site's uncached objects could not be served.
+	LostBytes int64
 }
 
 // QueryReport is the outcome of one mediated query.
@@ -84,9 +120,16 @@ type QueryReport struct {
 	// Seq is the query's position in the mediator's stream.
 	Seq int64
 	// Result is the execution result (logical cardinality and yield).
+	// In degraded mode Result.Bytes excludes the yield of failed legs
+	// — it is what the client actually receives, so it still equals
+	// the accounting's delivered-bytes increment (D_A).
 	Result *engine.Result
 	// Decisions lists per-object cache decisions.
 	Decisions []AccessDecision
+	// Degraded reports that at least one access was forced or failed.
+	Degraded bool
+	// SiteErrors details each unavailable site touched by the query.
+	SiteErrors []SiteError
 }
 
 // New builds a mediator. The engine must serve the same schema.
@@ -127,6 +170,10 @@ func New(cfg Config) (*Mediator, error) {
 // Obs returns the registry the mediator publishes into (nil when
 // observability is not configured).
 func (m *Mediator) Obs() *obs.Registry { return m.cfg.Obs }
+
+// SetHealth attaches a site-health source (the proxy's breakers).
+// Nil detaches; every site is then considered available.
+func (m *Mediator) SetHealth(h SiteHealth) { m.health = h }
 
 // Objects returns the cacheable-object universe.
 func (m *Mediator) Objects() map[core.ObjectID]core.Object { return m.objects }
@@ -194,6 +241,18 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 		if !ok {
 			return nil, fmt.Errorf("federation: decomposition produced unknown object %s", acc.Object)
 		}
+		// Degraded mode: an unavailable site makes bypass and load
+		// impossible, so the policy is not consulted (outage traffic
+		// must not distort its learned rate profiles). The access is
+		// forced to serve-from-cache or dropped as a failed leg.
+		if m.health != nil {
+			if ok, reason := m.health.SiteAvailable(obj.Site); !ok {
+				if err := m.degradedAccess(rep, obj, acc.Yield, reason, policyName, traceID); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
 		d := core.Bypass
 		if m.cfg.Policy != nil {
 			decideStart := time.Now()
@@ -216,6 +275,9 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 			Decision: d,
 		})
 	}
+	if rep.Degraded {
+		m.tel.RecordDegradedQuery()
+	}
 	if m.cfg.Policy != nil {
 		if ev := m.cfg.Policy.Evictions(); ev > m.lastEvictions {
 			m.tel.RecordEvictions(policyName, ev-m.lastEvictions)
@@ -224,6 +286,90 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 	}
 	m.queryLatency.Observe(time.Since(start).Microseconds())
 	return rep, nil
+}
+
+// degradedAccess handles one access whose owning site is unavailable.
+// Two outcomes, both fully accounted:
+//
+//   - Object cached → forced hit: the cached (possibly stale) copy is
+//     served and charged as a hit, so D_A reconciliation stays exact.
+//     The ledger records the forced decision with reason
+//     "forced-cache: <detail>" and Stale set.
+//   - Object not cached → failed leg: nothing is delivered and
+//     nothing is charged. The query's result shrinks by the leg's
+//     yield, the ledger records action "failed" with zero yield and
+//     WAN cost, and the report carries a per-site error annotation.
+func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64, reason, policyName, traceID string) error {
+	m.objsTouched.Add(1)
+	if m.cfg.Policy != nil && m.cfg.Policy.Contains(obj.ID) {
+		full := core.ReasonForcedCache + ": " + reason
+		if err := core.Account(&m.acct, obj, yield, core.Hit); err != nil {
+			return err
+		}
+		m.tel.RecordForced(policyName, obj.Site, obj, yield)
+		m.shadows.Access(m.t, obj, yield, core.Hit)
+		if m.ledger != nil {
+			rec := core.DecisionRecordFor(m.t, m.cfg.Policy, traceID, obj, yield, core.Hit)
+			rec.Reason = full
+			rec.Stale = true
+			m.ledger.Record(rec)
+		}
+		rep.Decisions = append(rep.Decisions, AccessDecision{
+			Object:   obj.ID,
+			Site:     obj.Site,
+			Yield:    yield,
+			Decision: core.Hit,
+			Forced:   true,
+			Reason:   full,
+		})
+		noteSiteError(rep, obj.Site, reason, 0)
+		return nil
+	}
+	full := core.ReasonFailedLeg + ": " + reason
+	m.tel.RecordFailedLeg(obj.Site)
+	if m.ledger != nil {
+		rec := ledger.DecisionRecord{
+			T:         m.t,
+			Trace:     traceID,
+			Object:    string(obj.ID),
+			Action:    core.ReasonFailedLeg,
+			Size:      obj.Size,
+			FetchCost: obj.FetchCost,
+			Reason:    full,
+		}
+		if m.cfg.Policy != nil {
+			rec.Policy = m.cfg.Policy.Name()
+		}
+		m.ledger.Record(rec)
+	}
+	// The client never receives this leg's bytes: shrink the result so
+	// delivered bytes still equal the accounting's D_A increment.
+	rep.Result.Bytes -= yield
+	if rep.Result.Bytes < 0 {
+		rep.Result.Bytes = 0
+	}
+	rep.Decisions = append(rep.Decisions, AccessDecision{
+		Object: obj.ID,
+		Site:   obj.Site,
+		Yield:  yield,
+		Failed: true,
+		Reason: full,
+	})
+	noteSiteError(rep, obj.Site, reason, yield)
+	return nil
+}
+
+// noteSiteError marks the report degraded, aggregating the lost yield
+// per site.
+func noteSiteError(rep *QueryReport, site, reason string, lost int64) {
+	rep.Degraded = true
+	for i := range rep.SiteErrors {
+		if rep.SiteErrors[i].Site == site {
+			rep.SiteErrors[i].LostBytes += lost
+			return
+		}
+	}
+	rep.SiteErrors = append(rep.SiteErrors, SiteError{Site: site, Reason: reason, LostBytes: lost})
 }
 
 // Subqueries splits a bound multi-table statement into one

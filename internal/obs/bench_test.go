@@ -173,7 +173,7 @@ func BenchmarkSnapshot(b *testing.B) {
 	for _, n := range []string{"a", "b", "c", "d"} {
 		r.Counter(n).Inc()
 		r.Histogram(n+".h", DefaultLatencyBuckets()).Observe(1)
-		r.CounterFamily(n + ".f").Add("l1", 1)
+		r.CounterFamily(n+".f").Add("l1", 1)
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

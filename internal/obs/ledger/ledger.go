@@ -49,8 +49,16 @@ type DecisionRecord struct {
 	Trace string `json:"trace,omitempty"`
 	// Object is the decided object's id.
 	Object string `json:"object"`
-	// Action is the chosen decision: "hit", "bypass", or "load".
+	// Action is the chosen decision: "hit", "bypass", or "load" — or
+	// "failed" for a leg that could not be served at all because its
+	// site was unavailable and the object was not cached. Failed
+	// records carry zero Yield and WANCost (nothing was delivered,
+	// nothing was charged), keeping Σ ledger yields equal to D_A.
 	Action string `json:"action"`
+	// Stale marks a forced serve-from-cache: the owning site was
+	// unavailable, so the cached copy was served without any freshness
+	// guarantee.
+	Stale bool `json:"stale,omitempty"`
 	// Yield is the realized yield of the access in bytes.
 	Yield int64 `json:"yield"`
 	// WANCost is the WAN traffic the decision charged: 0 for a hit,
@@ -196,7 +204,7 @@ func (l *Ledger) Snapshot() []DecisionRecord {
 type Query struct {
 	// Object matches the record's object id exactly.
 	Object string
-	// Action matches "hit", "bypass", or "load".
+	// Action matches "hit", "bypass", "load", or "failed".
 	Action string
 	// Trace matches the record's trace id.
 	Trace string

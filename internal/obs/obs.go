@@ -212,6 +212,38 @@ func (f *CounterFamily) Get(label string) *Counter {
 // Add increments the labeled counter by n.
 func (f *CounterFamily) Add(label string, n int64) { f.Get(label).Add(n) }
 
+// GaugeFamily is a set of gauges sharing one name, keyed by a label
+// value (per-site breaker states, per-shard occupancy, ...).
+type GaugeFamily struct {
+	mu    sync.RWMutex
+	items map[string]*Gauge
+}
+
+// Get returns the gauge for a label, creating it on first use.
+// Lookups of existing labels take only a read lock and do not
+// allocate. Returns nil on a nil family.
+func (f *GaugeFamily) Get(label string) *Gauge {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	g := f.items[label]
+	f.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g = f.items[label]; g == nil {
+		g = &Gauge{}
+		f.items[label] = g
+	}
+	return g
+}
+
+// Set stores v under the label.
+func (f *GaugeFamily) Set(label string, v int64) { f.Get(label).Set(v) }
+
 // HistogramFamily is a set of histograms sharing one name and bucket
 // layout, keyed by a label value.
 type HistogramFamily struct {
@@ -256,6 +288,7 @@ type Registry struct {
 	hists     map[string]*Histogram
 	rates     map[string]*Rate
 	cfamilies map[string]*CounterFamily
+	gfamilies map[string]*GaugeFamily
 	hfamilies map[string]*HistogramFamily
 }
 
@@ -267,6 +300,7 @@ func NewRegistry() *Registry {
 		hists:     make(map[string]*Histogram),
 		rates:     make(map[string]*Rate),
 		cfamilies: make(map[string]*CounterFamily),
+		gfamilies: make(map[string]*GaugeFamily),
 		hfamilies: make(map[string]*HistogramFamily),
 	}
 }
@@ -356,6 +390,22 @@ func (r *Registry) CounterFamily(name string) *CounterFamily {
 	if f == nil {
 		f = &CounterFamily{items: make(map[string]*Counter)}
 		r.cfamilies[name] = f
+	}
+	return f
+}
+
+// GaugeFamily returns the named gauge family, creating it on first
+// use.
+func (r *Registry) GaugeFamily(name string) *GaugeFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.gfamilies[name]
+	if f == nil {
+		f = &GaugeFamily{items: make(map[string]*Gauge)}
+		r.gfamilies[name] = f
 	}
 	return f
 }

@@ -79,6 +79,23 @@ func TestFamilies(t *testing.T) {
 	if _, ok := s.HistogramSnap("rpc_latency", "siteA"); !ok {
 		t.Fatal("labeled histogram missing")
 	}
+
+	gf := r.GaugeFamily("breaker_state")
+	gf.Set("siteA", 2)
+	gf.Get("siteB").Set(-1)
+	gf.Set("siteA", 1) // overwrite, not accumulate
+	s = r.Snapshot()
+	if got := s.GaugeLabeled("breaker_state", "siteA"); got != 1 {
+		t.Fatalf("siteA gauge = %d, want 1", got)
+	}
+	if got := s.GaugeLabeled("breaker_state", "siteB"); got != -1 {
+		t.Fatalf("siteB gauge = %d, want -1", got)
+	}
+	var nilGF *GaugeFamily
+	nilGF.Set("x", 1) // nil family must be a no-op
+	if nilGF.Get("x") != nil {
+		t.Fatal("nil gauge family should hand out nil gauges")
+	}
 }
 
 func TestSnapshotDeterministicOrder(t *testing.T) {

@@ -31,6 +31,10 @@ func goldenSnapshot() Snapshot {
 			// Negative: a shadow baseline can beat the live policy, so
 			// signed gauge rendering is load-bearing.
 			{Name: "core.bytes_saved_vs_lruk", Value: -2048},
+			// Gauge-family members (per-site breaker states) share one
+			// TYPE line and carry the family label.
+			{Name: "wire.breaker_state", Label: "photo.sdss.org", Value: 0},
+			{Name: "wire.breaker_state", Label: "spec.sdss.org", Value: 1},
 		},
 		Rates: []RateSnap{
 			{Name: "core.bypass_bytes_rate", PerSecond: 1234.5, WindowSeconds: 15},

@@ -113,6 +113,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.cfamilies {
 		cfams[k] = v
 	}
+	gfams := make(map[string]*GaugeFamily, len(r.gfamilies))
+	for k, v := range r.gfamilies {
+		gfams[k] = v
+	}
 	hfams := make(map[string]*HistogramFamily, len(r.hfamilies))
 	for k, v := range r.hfamilies {
 		hfams[k] = v
@@ -135,6 +139,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range gauges {
 		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, f := range gfams {
+		f.mu.RLock()
+		for label, g := range f.items {
+			s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Label: label, Value: g.Value()})
+		}
+		f.mu.RUnlock()
 	}
 	for name, h := range hists {
 		s.Histograms = append(s.Histograms, h.snap(name, ""))
@@ -222,6 +233,17 @@ func (s Snapshot) CounterTotal(name string) int64 {
 func (s Snapshot) GaugeValue(name string) int64 {
 	for _, g := range s.Gauges {
 		if g.Name == name && g.Label == "" {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// GaugeLabeled looks up a gauge-family member by name and label;
+// missing entries return 0.
+func (s Snapshot) GaugeLabeled(name, label string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Label == label {
 			return g.Value
 		}
 	}

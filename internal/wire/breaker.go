@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is one position of a site's circuit breaker.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the site is healthy; RPCs flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the site failed repeatedly; RPCs are rejected
+	// without touching the network until the backoff window elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the backoff elapsed; a probe RPC is testing the
+	// site. Regular traffic stays rejected until the probe succeeds.
+	BreakerHalfOpen
+)
+
+// String names the state for metrics labels and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the per-site circuit breakers and the retry
+// budget of node RPCs.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips a
+	// closed breaker open.
+	FailureThreshold int
+	// BaseBackoff is the first open window; each failed probe doubles
+	// it (plus jitter) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the open window.
+	MaxBackoff time.Duration
+	// ProbeInterval is the prober's polling cadence — how often
+	// non-closed breakers are checked for a due probe.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe RPC.
+	ProbeTimeout time.Duration
+	// RetryBudget is how many extra attempts a failed node RPC gets
+	// (beyond the first) while the breaker stays closed. Timeouts are
+	// never retried: the node is hung, not stale, and a retry would
+	// hold the mediation lock through another full deadline.
+	RetryBudget int
+	// RetryDelay is the base pause before a retry attempt; it doubles
+	// per attempt with jitter.
+	RetryDelay time.Duration
+	// Seed makes backoff jitter reproducible. 0 means seed 1.
+	Seed int64
+}
+
+// DefaultBreakerConfig returns the daemon defaults.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		FailureThreshold: 3,
+		BaseBackoff:      200 * time.Millisecond,
+		MaxBackoff:       30 * time.Second,
+		ProbeInterval:    250 * time.Millisecond,
+		ProbeTimeout:     2 * time.Second,
+		RetryBudget:      1,
+		RetryDelay:       10 * time.Millisecond,
+	}
+}
+
+// sanitize fills zero fields with defaults so a partially-specified
+// config behaves sanely.
+func (c BreakerConfig) sanitize() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = d.FailureThreshold
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = d.BaseBackoff
+	}
+	if c.MaxBackoff < c.BaseBackoff {
+		c.MaxBackoff = d.MaxBackoff
+	}
+	if c.MaxBackoff < c.BaseBackoff {
+		c.MaxBackoff = c.BaseBackoff
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = d.ProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = d.ProbeTimeout
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = d.RetryDelay
+	}
+	return c
+}
+
+// SiteUnavailableError reports an RPC rejected locally because the
+// site's breaker is not closed — the proxy never touched the network.
+type SiteUnavailableError struct {
+	Site    string
+	State   BreakerState
+	RetryIn time.Duration
+}
+
+func (e *SiteUnavailableError) Error() string {
+	if e.RetryIn > 0 {
+		return fmt.Sprintf("wire: site %s unavailable (breaker %s, retry in %s)",
+			e.Site, e.State, e.RetryIn.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("wire: site %s unavailable (breaker %s)", e.Site, e.State)
+}
+
+// breaker is one site's circuit breaker. It has its own lock so the
+// mediator can consult it (via Proxy.SiteAvailable) while the proxy's
+// mediation lock is held.
+type breaker struct {
+	mu      sync.Mutex
+	site    string
+	cfg     BreakerConfig
+	state   BreakerState
+	fails   int           // consecutive failures while closed
+	backoff time.Duration // current open window
+	until   time.Time     // when an open breaker may probe
+	rng     *rand.Rand
+	now     func() time.Time
+	// onTransition fires outside critical decisions but under mu;
+	// keep it cheap (metric updates, one log line).
+	onTransition func(site string, from, to BreakerState)
+}
+
+func newBreaker(site string, cfg BreakerConfig, onTransition func(string, BreakerState, BreakerState)) *breaker {
+	cfg = cfg.sanitize()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// Distinct per-site jitter streams from one seed.
+	for _, ch := range site {
+		seed = seed*131 + int64(ch)
+	}
+	return &breaker{
+		site:         site,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(seed)),
+		now:          time.Now,
+		onTransition: onTransition,
+	}
+}
+
+// transition moves the state machine, firing the hook. Caller holds mu.
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(b.site, from, to)
+	}
+}
+
+// jittered returns d plus a seeded-random extra in [0, d/2).
+func (b *breaker) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(b.rng.Int63n(int64(d)/2+1))
+}
+
+// open trips the breaker for the current backoff window. Caller holds
+// mu; backoff must already be set.
+func (b *breaker) open() {
+	b.until = b.now().Add(b.jittered(b.backoff))
+	b.transition(BreakerOpen)
+}
+
+// Allow reports whether a regular RPC may proceed. Only a closed
+// breaker admits traffic; open and half-open sites are served in
+// degraded mode until a probe closes the breaker.
+func (b *breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// State returns the current state (closed on nil).
+func (b *breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Snapshot returns state plus time until the next probe is due (0
+// when closed or already due).
+func (b *breaker) Snapshot() (BreakerState, time.Duration) {
+	if b == nil {
+		return BreakerClosed, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed {
+		return b.state, 0
+	}
+	d := b.until.Sub(b.now())
+	if d < 0 {
+		d = 0
+	}
+	return b.state, d
+}
+
+// TryProbe reports whether a probe should run now: an open breaker
+// whose backoff elapsed moves to half-open and probes; a half-open
+// breaker re-probes (the prober is single-threaded per proxy, so
+// probes never overlap). Closed breakers do not probe.
+func (b *breaker) TryProbe() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		return true
+	case BreakerHalfOpen:
+		return true
+	default:
+		return false
+	}
+}
+
+// RecordSuccess resets the failure streak and closes the breaker.
+func (b *breaker) RecordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.backoff = 0
+	b.transition(BreakerClosed)
+}
+
+// RecordFailure advances the state machine after a failed RPC or
+// probe: a closed breaker trips at the failure threshold; a half-open
+// breaker re-opens with a doubled backoff.
+func (b *breaker) RecordFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.backoff = b.cfg.BaseBackoff
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.backoff *= 2
+		if b.backoff > b.cfg.MaxBackoff {
+			b.backoff = b.cfg.MaxBackoff
+		}
+		b.open()
+	case BreakerOpen:
+		// A straggler failure from an RPC in flight when the breaker
+		// tripped; the window is already set.
+	}
+}

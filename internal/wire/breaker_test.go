@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's time by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                 { return &fakeClock{t: time.Unix(1000, 0)} }
+func attach(b *breaker, c *fakeClock) *breaker { b.now = c.now; return b }
+
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		FailureThreshold: 3,
+		BaseBackoff:      100 * time.Millisecond,
+		MaxBackoff:       1 * time.Second,
+		RetryBudget:      1,
+		RetryDelay:       time.Millisecond,
+		Seed:             7,
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	var transitions []string
+	b := newBreaker("siteA", testBreakerConfig(), func(site string, from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	attach(b, newFakeClock())
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.RecordFailure()
+	b.RecordFailure()
+	if !b.Allow() {
+		t.Fatal("breaker tripped before threshold")
+	}
+	b.RecordFailure() // third: threshold reached
+	if b.Allow() || b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold, want open", b.State())
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	// Intervening success resets the streak.
+	b2 := attach(newBreaker("siteB", testBreakerConfig(), nil), newFakeClock())
+	b2.RecordFailure()
+	b2.RecordFailure()
+	b2.RecordSuccess()
+	b2.RecordFailure()
+	b2.RecordFailure()
+	if !b2.Allow() {
+		t.Fatal("success did not reset the failure streak")
+	}
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := attach(newBreaker("siteA", testBreakerConfig(), func(site string, from, to BreakerState) {
+		transitions = append(transitions, to.String())
+	}), clock)
+
+	for i := 0; i < 3; i++ {
+		b.RecordFailure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("not open after threshold")
+	}
+	// Backoff not elapsed: no probe yet. Jitter caps the window at
+	// 1.5 × base.
+	if b.TryProbe() {
+		t.Fatal("probe admitted before backoff elapsed")
+	}
+	clock.advance(150*time.Millisecond + 1)
+	if !b.TryProbe() {
+		t.Fatal("probe not admitted after backoff")
+	}
+	if b.State() != BreakerHalfOpen || b.Allow() {
+		t.Fatalf("state = %v, want half-open rejecting regular traffic", b.State())
+	}
+	// Failed probe: reopen with doubled backoff.
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not reopen")
+	}
+	if b.TryProbe() {
+		t.Fatal("probe admitted immediately after reopen")
+	}
+	clock.advance(300*time.Millisecond + 1) // 2× base, plus jitter headroom
+	if !b.TryProbe() {
+		t.Fatal("probe not admitted after doubled backoff")
+	}
+	// Successful probe closes.
+	b.RecordSuccess()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	want := "open half-open open half-open closed"
+	if got := strings.Join(transitions, " "); got != want {
+		t.Fatalf("transitions = %q, want %q", got, want)
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	clock := newFakeClock()
+	b := attach(newBreaker("siteA", testBreakerConfig(), nil), clock)
+	for i := 0; i < 3; i++ {
+		b.RecordFailure()
+	}
+	// Many failed probes: backoff doubles 100ms → ... → capped at 1s.
+	for i := 0; i < 10; i++ {
+		clock.advance(2 * time.Second)
+		if !b.TryProbe() {
+			t.Fatalf("probe %d not admitted", i)
+		}
+		b.RecordFailure()
+	}
+	b.mu.Lock()
+	backoff := b.backoff
+	b.mu.Unlock()
+	if backoff != time.Second {
+		t.Fatalf("backoff = %v, want capped at 1s", backoff)
+	}
+	// Even capped, the jittered window stays ≤ 1.5 × cap.
+	_, retryIn := b.Snapshot()
+	if retryIn > 1500*time.Millisecond {
+		t.Fatalf("retry window %v exceeds jittered cap", retryIn)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *breaker
+	if !b.Allow() || b.State() != BreakerClosed || b.TryProbe() {
+		t.Fatal("nil breaker should behave closed and never probe")
+	}
+	b.RecordSuccess()
+	b.RecordFailure()
+	if st, d := b.Snapshot(); st != BreakerClosed || d != 0 {
+		t.Fatal("nil breaker snapshot not closed/0")
+	}
+}
+
+func TestBreakerConfigSanitize(t *testing.T) {
+	c := BreakerConfig{}.sanitize()
+	d := DefaultBreakerConfig()
+	if c.FailureThreshold != d.FailureThreshold || c.BaseBackoff != d.BaseBackoff ||
+		c.MaxBackoff != d.MaxBackoff || c.ProbeInterval != d.ProbeInterval ||
+		c.ProbeTimeout != d.ProbeTimeout || c.RetryDelay != d.RetryDelay {
+		t.Fatalf("sanitized zero config = %+v, want defaults %+v", c, d)
+	}
+	// MaxBackoff below BaseBackoff is lifted to at least BaseBackoff.
+	c = BreakerConfig{BaseBackoff: time.Minute, MaxBackoff: time.Second}.sanitize()
+	if c.MaxBackoff < c.BaseBackoff {
+		t.Fatalf("MaxBackoff %v below BaseBackoff %v", c.MaxBackoff, c.BaseBackoff)
+	}
+}
+
+func TestSiteUnavailableError(t *testing.T) {
+	err := error(&SiteUnavailableError{Site: "spec.sdss.org", State: BreakerOpen, RetryIn: 2 * time.Second})
+	if !strings.Contains(err.Error(), "spec.sdss.org") || !strings.Contains(err.Error(), "open") {
+		t.Fatalf("error text = %q", err)
+	}
+	var su *SiteUnavailableError
+	if !errors.As(err, &su) || su.State != BreakerOpen {
+		t.Fatal("errors.As failed to recover SiteUnavailableError")
+	}
+	short := &SiteUnavailableError{Site: "x", State: BreakerHalfOpen}
+	if !strings.Contains(short.Error(), "half-open") {
+		t.Fatalf("error text = %q", short.Error())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:    "closed",
+		BreakerOpen:      "open",
+		BreakerHalfOpen:  "half-open",
+		BreakerState(99): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

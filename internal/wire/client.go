@@ -1,11 +1,18 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"time"
 
 	"bypassyield/internal/obs"
 )
+
+// DefaultDialTimeout bounds connection establishment. A black-holed
+// listener must fail a client in seconds, not leave it hanging on the
+// kernel's multi-minute TCP handshake timeout.
+const DefaultDialTimeout = 5 * time.Second
 
 // Client is a synchronous connection to a proxy (or directly to a
 // database node for diagnostics).
@@ -13,9 +20,26 @@ type Client struct {
 	conn net.Conn
 }
 
-// Dial connects to a proxy at addr.
+// Dial connects to a proxy at addr, bounded by DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a proxy at addr, giving up after timeout
+// (≤ 0 means no bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// DialContext connects to a proxy at addr under ctx's deadline and
+// cancellation.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +128,16 @@ func (c *Client) Stats() (*StatsResultMsg, error) {
 func (c *Client) Decisions(q DecisionsMsg) (*DecisionsResultMsg, error) {
 	var res DecisionsResultMsg
 	if err := c.roundTrip(MsgDecisions, q, MsgDecisionsResult, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Ping round-trips a health probe (proxies and database nodes both
+// answer).
+func (c *Client) Ping() (*PongMsg, error) {
+	var res PongMsg
+	if err := c.roundTrip(MsgPing, PingMsg{}, MsgPong, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil

@@ -28,13 +28,14 @@ type DBNode struct {
 	// by other sites are rejected.
 	Site string
 
-	db     *engine.DB
-	ln     net.Listener
-	logf   func(format string, args ...any)
-	tracer *obs.Tracer
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	closed bool
+	db       *engine.DB
+	ln       net.Listener
+	logf     func(format string, args ...any)
+	tracer   *obs.Tracer
+	wrapConn func(net.Conn) net.Conn
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
 
 	reg     *obs.Registry
 	queries *obs.Counter
@@ -74,6 +75,11 @@ func (n *DBNode) SetLogf(f func(string, ...any)) { n.logf = f }
 // untraced frames emit nothing. Nil detaches.
 func (n *DBNode) SetTracer(t *obs.Tracer) { n.tracer = t }
 
+// SetConnWrapper interposes w on every accepted connection — the
+// chaos hook (bydbd -chaos wraps conns in a faultnet injector). Call
+// before Listen; nil disables.
+func (n *DBNode) SetConnWrapper(w func(net.Conn) net.Conn) { n.wrapConn = w }
+
 // Listen starts accepting on addr ("host:port"; ":0" picks a free
 // port) and returns the bound address.
 func (n *DBNode) Listen(addr string) (string, error) {
@@ -112,6 +118,9 @@ func (n *DBNode) acceptLoop() {
 				n.logf("dbnode %s: accept: %v", n.Site, err)
 			}
 			return
+		}
+		if n.wrapConn != nil {
+			conn = n.wrapConn(conn)
 		}
 		n.wg.Add(1)
 		go func() {
@@ -171,6 +180,8 @@ func (n *DBNode) serveConn(conn net.Conn) {
 				Source:   "bydbd:" + n.Site,
 				Snapshot: n.reg.Snapshot(),
 			})
+		case MsgPing:
+			n.send(conn, MsgPong, PongMsg{Site: n.Site})
 		default:
 			n.sendErr(conn, fmt.Errorf("dbnode: unexpected message type %s", t))
 		}

@@ -47,6 +47,15 @@ const (
 	MsgDecisions MsgType = 10
 	// MsgDecisionsResult returns the matching ledger records.
 	MsgDecisionsResult MsgType = 11
+	// MsgPing is a health probe (proxy → node); half-open circuit
+	// breakers use it to test a site before readmitting traffic.
+	MsgPing MsgType = 12
+	// MsgPong answers a ping.
+	MsgPong MsgType = 13
+
+	// maxMsgType is the highest assigned message type; ReadFrame
+	// rejects anything beyond it.
+	maxMsgType = MsgPong
 )
 
 // String names a message type for metric labels and diagnostics.
@@ -74,6 +83,10 @@ func (t MsgType) String() string {
 		return "decisions"
 	case MsgDecisionsResult:
 		return "decisions_result"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	default:
 		return "unknown"
 	}
@@ -104,10 +117,16 @@ func WriteFrame(w io.Writer, t MsgType, payload any) (int, error) {
 	return len(hdr) + len(body), nil
 }
 
-// ReadFrame reads one frame, unmarshalling the payload into dst if
-// dst is non-nil after the caller has inspected the returned type via
-// the two-step ReadHeader/DecodeBody path; most callers use
-// ReadInto.
+// readChunk bounds each body allocation: a corrupt length prefix
+// claiming megabytes that never arrive must not allocate megabytes up
+// front. Bodies grow chunk by chunk as bytes actually appear.
+const readChunk = 64 << 10
+
+// ReadFrame reads one frame and returns its type, body, and total
+// bytes consumed. Frames with an unassigned type byte or a length
+// prefix beyond MaxFrame are rejected before the body is read — a
+// corrupt or adversarial header cannot make the reader allocate or
+// block for a payload that will never parse.
 func ReadFrame(r io.Reader) (MsgType, []byte, int, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -117,11 +136,35 @@ func ReadFrame(r io.Reader) (MsgType, []byte, int, error) {
 	if n > MaxFrame {
 		return 0, nil, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, 0, err
+	t := MsgType(hdr[4])
+	if t == 0 || t > maxMsgType {
+		return 0, nil, 0, fmt.Errorf("wire: unknown message type %d", hdr[4])
 	}
-	return MsgType(hdr[4]), body, len(hdr) + int(n), nil
+	// Small frames (the common case) allocate once; larger claims grow
+	// incrementally so a truncated body wastes at most one chunk.
+	size := int(n)
+	alloc := size
+	if alloc > readChunk {
+		alloc = readChunk
+	}
+	body := make([]byte, 0, alloc)
+	for len(body) < size {
+		next := len(body) + readChunk
+		if next > size {
+			next = size
+		}
+		if cap(body) < next {
+			grown := make([]byte, len(body), next)
+			copy(grown, body)
+			body = grown
+		}
+		m, err := io.ReadFull(r, body[len(body):next])
+		body = body[:len(body)+m]
+		if err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	return t, body, len(hdr) + size, nil
 }
 
 // Decode unmarshals a frame body.

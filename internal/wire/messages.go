@@ -36,6 +36,23 @@ type ResultMsg struct {
 	// Decisions lists per-object cache handling (proxy responses
 	// only).
 	Decisions []DecisionMsg `json:"decisions,omitempty"`
+	// Partial marks a degraded result: one or more sites were
+	// unavailable, so their legs were served from cache (possibly
+	// stale) or dropped. SiteErrors carries the per-site detail.
+	Partial    bool           `json:"partial,omitempty"`
+	SiteErrors []SiteErrorMsg `json:"site_errors,omitempty"`
+}
+
+// SiteErrorMsg annotates one unavailable site's contribution to a
+// partial result.
+type SiteErrorMsg struct {
+	// Site is the unavailable federation member.
+	Site string `json:"site"`
+	// Error explains why (breaker state, backoff remaining).
+	Error string `json:"error"`
+	// LostBytes is the yield dropped from the result because the
+	// site's uncached objects could not be served.
+	LostBytes int64 `json:"lost_bytes,omitempty"`
 }
 
 // DecisionMsg is one per-object cache decision.
@@ -44,6 +61,15 @@ type DecisionMsg struct {
 	Site     string `json:"site"`
 	Yield    int64  `json:"yield"`
 	Decision string `json:"decision"`
+	// Forced marks a decision the policy did not choose freely: the
+	// site was unavailable, so the mediator forced serve-from-cache.
+	Forced bool `json:"forced,omitempty"`
+	// Failed marks a leg that could not be served at all (site down,
+	// object not cached). Yield is what the leg would have delivered;
+	// nothing was charged for it.
+	Failed bool `json:"failed,omitempty"`
+	// Reason explains a forced or failed decision.
+	Reason string `json:"reason,omitempty"`
 }
 
 // ErrorMsg returns a failure message.
@@ -74,6 +100,15 @@ type FetchAckMsg struct {
 
 // StatsMsg requests proxy statistics (empty payload).
 type StatsMsg struct{}
+
+// PingMsg is a health probe (empty payload).
+type PingMsg struct{}
+
+// PongMsg answers a probe with the responder's identity.
+type PongMsg struct {
+	// Site names the answering node.
+	Site string `json:"site,omitempty"`
+}
 
 // MetricsMsg requests a daemon's observability snapshot (empty
 // payload).

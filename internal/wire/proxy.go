@@ -50,10 +50,15 @@ const MaxStatsCachedObjects = 64
 //	wire.rpc_latency_us                node RPC latency histogram per site
 //	wire.rpc_errors                    failed node RPCs per site
 //	wire.rpc_timeouts                  node RPCs hitting the deadline, per site
-//	wire.rpc_retries                   reconnect retries per site
+//	wire.rpc_retries                   reconnect/backoff retries per site
 //	wire.node_dials                    node connections dialed, per site
 //	wire.node_conn_drops               node connections dropped, per site
 //	wire.client_conns_opened/_closed   client connection churn
+//	wire.breaker_state                 per-site breaker position (0 closed,
+//	                                   1 open, 2 half-open)
+//	wire.breaker_transitions           breaker transitions per site/state
+//	wire.retry_backoff_seconds         backoff slept before RPC retries (ns)
+//	wire.probes                        half-open probe RPCs per site/outcome
 type Proxy struct {
 	mu         sync.Mutex
 	med        *federation.Mediator
@@ -62,27 +67,39 @@ type Proxy struct {
 	nodeConns  map[string]net.Conn
 	rpcTimeout time.Duration
 
+	// dialer opens node connections; tests and -chaos replace it to
+	// interpose fault injectors.
+	dialer      func(site, addr string) (net.Conn, error)
+	dialTimeout time.Duration
+	bcfg        BreakerConfig
+	breakers    map[string]*breaker // read-only after construction
+	proberStop  chan struct{}
+
 	ln     net.Listener
 	logf   func(format string, args ...any)
 	tracer *obs.Tracer
 	wg     sync.WaitGroup
 	closed bool
 
-	reg         *obs.Registry
-	framesRx    *obs.CounterFamily
-	framesTx    *obs.CounterFamily
-	bytesRx     *obs.CounterFamily
-	bytesTx     *obs.CounterFamily
-	nodeTx      *obs.Counter
-	nodeRx      *obs.Counter
-	rpcLatency  *obs.HistogramFamily
-	rpcErrors   *obs.CounterFamily
-	rpcTimeouts *obs.CounterFamily
-	rpcRetries  *obs.CounterFamily
-	nodeDials   *obs.CounterFamily
-	nodeDrops   *obs.CounterFamily
-	connsOpened *obs.Counter
-	connsClosed *obs.Counter
+	reg          *obs.Registry
+	framesRx     *obs.CounterFamily
+	framesTx     *obs.CounterFamily
+	bytesRx      *obs.CounterFamily
+	bytesTx      *obs.CounterFamily
+	nodeTx       *obs.Counter
+	nodeRx       *obs.Counter
+	rpcLatency   *obs.HistogramFamily
+	rpcErrors    *obs.CounterFamily
+	rpcTimeouts  *obs.CounterFamily
+	rpcRetries   *obs.CounterFamily
+	nodeDials    *obs.CounterFamily
+	nodeDrops    *obs.CounterFamily
+	connsOpened  *obs.Counter
+	connsClosed  *obs.Counter
+	breakerState *obs.GaugeFamily
+	breakerTrans *obs.CounterFamily
+	retryBackoff *obs.Histogram
+	probes       *obs.CounterFamily
 }
 
 // NewProxy builds a proxy around a mediator. nodeAddrs maps each site
@@ -96,13 +113,18 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 		reg = obs.NewRegistry()
 	}
 	p := &Proxy{
-		med:        med,
-		gran:       gran,
-		nodeAddrs:  nodeAddrs,
-		nodeConns:  make(map[string]net.Conn),
-		rpcTimeout: DefaultRPCTimeout,
-		logf:       log.Printf,
-		reg:        reg,
+		med:         med,
+		gran:        gran,
+		nodeAddrs:   nodeAddrs,
+		nodeConns:   make(map[string]net.Conn),
+		rpcTimeout:  DefaultRPCTimeout,
+		dialTimeout: DefaultDialTimeout,
+		bcfg:        DefaultBreakerConfig(),
+		logf:        log.Printf,
+		reg:         reg,
+	}
+	p.dialer = func(_, addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, p.dialTimeout)
 	}
 	p.framesRx = reg.CounterFamily("wire.frames_rx")
 	p.framesTx = reg.CounterFamily("wire.frames_tx")
@@ -118,7 +140,31 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 	p.nodeDrops = reg.CounterFamily("wire.node_conn_drops")
 	p.connsOpened = reg.Counter("wire.client_conns_opened")
 	p.connsClosed = reg.Counter("wire.client_conns_closed")
+	p.breakerState = reg.GaugeFamily("wire.breaker_state")
+	p.breakerTrans = reg.CounterFamily("wire.breaker_transitions")
+	// Backoff pauses in nanoseconds, 1ms..16s exponential.
+	p.retryBackoff = reg.Histogram("wire.retry_backoff_seconds", obs.ExpBuckets(1_000_000, 4, 8))
+	p.probes = reg.CounterFamily("wire.probes")
+	p.buildBreakers()
+	med.SetHealth(p)
 	return p
+}
+
+// buildBreakers creates one breaker per configured node site. The map
+// is never mutated afterwards, so lock-free reads are safe.
+func (p *Proxy) buildBreakers() {
+	p.breakers = make(map[string]*breaker, len(p.nodeAddrs))
+	onTransition := func(site string, from, to BreakerState) {
+		p.breakerState.Set(site, int64(to))
+		p.breakerTrans.Add(site+"/"+to.String(), 1)
+		p.tracer.Event("proxy.breaker_transition",
+			obs.A("site", site), obs.A("from", from.String()), obs.A("to", to.String()))
+		p.logf("proxy: breaker %s: %s -> %s", site, from, to)
+	}
+	for site := range p.nodeAddrs {
+		p.breakers[site] = newBreaker(site, p.bcfg, onTransition)
+		p.breakerState.Set(site, int64(BreakerClosed))
+	}
 }
 
 // SetLogf replaces the proxy's logger.
@@ -131,6 +177,51 @@ func (p *Proxy) SetTracer(t *obs.Tracer) { p.tracer = t }
 // SetRPCTimeout replaces the per-RPC deadline applied to node
 // exchanges; d ≤ 0 disables deadlines. Call before Listen.
 func (p *Proxy) SetRPCTimeout(d time.Duration) { p.rpcTimeout = d }
+
+// SetDialTimeout bounds node connection establishment (default
+// DefaultDialTimeout). Call before Listen.
+func (p *Proxy) SetDialTimeout(d time.Duration) { p.dialTimeout = d }
+
+// SetDialer replaces how node connections are opened — tests and the
+// -chaos flag interpose fault injectors here. Call before Listen.
+func (p *Proxy) SetDialer(f func(site, addr string) (net.Conn, error)) {
+	if f != nil {
+		p.dialer = f
+	}
+}
+
+// SetBreakerConfig replaces the circuit-breaker and retry tuning,
+// rebuilding the per-site breakers. Call before Listen.
+func (p *Proxy) SetBreakerConfig(cfg BreakerConfig) {
+	p.bcfg = cfg.sanitize()
+	p.buildBreakers()
+}
+
+// BreakerState reports a site's breaker position (closed for sites
+// without a configured node).
+func (p *Proxy) BreakerState(site string) BreakerState {
+	return p.breakers[site].State()
+}
+
+// SiteAvailable implements federation.SiteHealth: the mediator asks
+// it before charging a bypass or load whether the site can serve at
+// all. Sites without a configured node are simulation-mode and always
+// available; otherwise only a closed breaker admits traffic.
+func (p *Proxy) SiteAvailable(site string) (bool, string) {
+	br, ok := p.breakers[site]
+	if !ok {
+		return true, ""
+	}
+	state, retryIn := br.Snapshot()
+	if state == BreakerClosed {
+		return true, ""
+	}
+	reason := fmt.Sprintf("breaker %s site=%s", state, site)
+	if retryIn > 0 {
+		reason += fmt.Sprintf(" retry-in=%s", retryIn.Round(time.Millisecond))
+	}
+	return false, reason
+}
 
 // Obs returns the registry the proxy publishes into.
 func (p *Proxy) Obs() *obs.Registry { return p.reg }
@@ -145,24 +236,86 @@ func (p *Proxy) Listen(addr string) (string, error) {
 	p.ln = ln
 	p.wg.Add(1)
 	go p.acceptLoop()
+	if len(p.breakers) > 0 {
+		p.proberStop = make(chan struct{})
+		p.wg.Add(1)
+		go p.probeLoop()
+	}
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener, closes node connections, and waits.
+// Close stops the listener and prober, closes node connections, and
+// waits.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
+	alreadyClosed := p.closed
 	p.closed = true
 	for _, c := range p.nodeConns {
 		c.Close()
 	}
 	p.nodeConns = make(map[string]net.Conn)
 	p.mu.Unlock()
+	if p.proberStop != nil && !alreadyClosed {
+		close(p.proberStop)
+	}
 	var err error
 	if p.ln != nil {
 		err = p.ln.Close()
 	}
 	p.wg.Wait()
 	return err
+}
+
+// probeLoop drives half-open probing: every ProbeInterval it asks
+// each breaker whether a probe is due (open + backoff elapsed, or
+// already half-open) and round-trips a ping to the site on a fresh
+// connection. Probes run outside the mediation lock, so a recovering
+// site is readmitted even while queries are flowing.
+func (p *Proxy) probeLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.bcfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.proberStop:
+			return
+		case <-tick.C:
+			for site, br := range p.breakers {
+				if br.TryProbe() {
+					p.probe(site, br)
+				}
+			}
+		}
+	}
+}
+
+// probe round-trips one MsgPing to a site and feeds the outcome to
+// its breaker.
+func (p *Proxy) probe(site string, br *breaker) {
+	ok := p.probeOnce(site)
+	if ok {
+		p.probes.Add(site+"/ok", 1)
+		br.RecordSuccess()
+		return
+	}
+	p.probes.Add(site+"/fail", 1)
+	br.RecordFailure()
+}
+
+func (p *Proxy) probeOnce(site string) bool {
+	conn, err := p.dialer(site, p.nodeAddrs[site])
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(p.bcfg.ProbeTimeout)); err != nil {
+		return false
+	}
+	if _, err := WriteFrame(conn, MsgPing, PingMsg{}); err != nil {
+		return false
+	}
+	t, _, _, err := ReadFrame(conn)
+	return err == nil && t == MsgPong
 }
 
 func (p *Proxy) acceptLoop() {
@@ -251,6 +404,8 @@ func (p *Proxy) serveConn(conn net.Conn) {
 				Source:   "byproxyd",
 				Snapshot: p.reg.Snapshot(),
 			})
+		case MsgPing:
+			p.send(conn, MsgPong, PongMsg{Site: "byproxyd"})
 		default:
 			p.send(conn, MsgError, ErrorMsg{Message: fmt.Sprintf("proxy: unexpected message type %s", t)})
 		}
@@ -285,25 +440,50 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 		Rows:    rep.Result.Rows,
 		Bytes:   rep.Result.Bytes,
 		Tuples:  rep.Result.Tuples,
+		Partial: rep.Degraded,
+	}
+	for _, se := range rep.SiteErrors {
+		res.SiteErrors = append(res.SiteErrors, SiteErrorMsg{
+			Site:      se.Site,
+			Error:     se.Reason,
+			LostBytes: se.LostBytes,
+		})
 	}
 	// Per-site protocol traffic: ship sub-queries for tables with any
-	// bypassed object, and object fetches for every load.
+	// bypassed object, and object fetches for every load. Forced and
+	// failed legs never reach the network — their sites are known
+	// unavailable.
 	bypassedTables := map[string]bool{} // table name → has bypassed object
 	for _, d := range rep.Decisions {
+		verdict := d.Decision.String()
+		if d.Failed {
+			verdict = "failed"
+		}
 		res.Decisions = append(res.Decisions, DecisionMsg{
 			Object:   string(d.Object),
 			Site:     d.Site,
 			Yield:    d.Yield,
-			Decision: d.Decision.String(),
+			Decision: verdict,
+			Forced:   d.Forced,
+			Failed:   d.Failed,
+			Reason:   d.Reason,
 		})
 		// One proxy.decide span per object access: summing the yield
 		// attrs over a trace reproduces the query's D_A contribution
 		// (uniform net costs).
-		p.tracer.Child(ctx, "proxy.decide",
+		attrs := []obs.Attr{
 			obs.A("object", string(d.Object)),
 			obs.A("site", d.Site),
 			obs.A("yield", strconv.FormatInt(d.Yield, 10)),
-			obs.A("decision", d.Decision.String())).End()
+			obs.A("decision", verdict),
+		}
+		if d.Forced || d.Failed {
+			attrs = append(attrs, obs.A("degraded", d.Reason))
+		}
+		p.tracer.Child(ctx, "proxy.decide", attrs...).End()
+		if d.Forced || d.Failed {
+			continue
+		}
 		switch d.Decision {
 		case core.Bypass:
 			bypassedTables[tableOfObject(string(d.Object))] = true
@@ -354,7 +534,7 @@ func (p *Proxy) nodeConn(site string) (conn net.Conn, cached bool, err error) {
 	if !ok {
 		return nil, false, nil
 	}
-	c, err := net.Dial("tcp", addr)
+	c, err := p.dialer(site, addr)
 	if err != nil {
 		return nil, false, err
 	}
@@ -384,24 +564,60 @@ func (p *Proxy) failNode(site string, err error) {
 	p.tracer.Event("proxy.node_rpc_error", obs.A("site", site), obs.A("error", err.Error()))
 }
 
-// nodeRPC performs one request/response exchange with a site's node
-// under the configured deadline, retrying once over a fresh
-// connection when a cached (possibly stale) connection fails with a
-// non-timeout error. Returns (0, nil, nil) when the site has no node.
-func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, error) {
-	rt, body, cached, err := p.tryNodeRPC(site, t, payload)
-	if err == nil || !cached {
-		return rt, body, err
-	}
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
 	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		// The node is hung, not stale: retrying would block another
-		// full deadline while holding the mediation lock.
-		return 0, nil, err
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// nodeRPC performs one request/response exchange with a site's node,
+// gated by the site's circuit breaker and retried under a bounded
+// budget with exponential backoff. Returns (0, nil, nil) when the
+// site has no node (simulation mode), and a *SiteUnavailableError —
+// without touching the network — when the breaker is not closed.
+//
+// Retry rules: a cached (possibly stale) connection failing with a
+// non-timeout error is retried immediately over a fresh dial without
+// charging the breaker — idle-closed connections are normal, not site
+// failures. Genuine failures charge the breaker and retry after a
+// jittered exponential pause, up to RetryBudget extra attempts.
+// Timeouts never retry: the node is hung, and another attempt would
+// hold the mediation lock through another full deadline.
+func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, error) {
+	if _, hasNode := p.nodeAddrs[site]; !hasNode {
+		return 0, nil, nil
 	}
-	p.rpcRetries.Add(site, 1)
-	rt, body, _, err = p.tryNodeRPC(site, t, payload)
-	return rt, body, err
+	br := p.breakers[site]
+	if !br.Allow() {
+		state, retryIn := br.Snapshot()
+		return 0, nil, &SiteUnavailableError{Site: site, State: state, RetryIn: retryIn}
+	}
+	delay := p.bcfg.RetryDelay
+	for attempt := 0; ; attempt++ {
+		rt, body, cached, err := p.tryNodeRPC(site, t, payload)
+		if err == nil {
+			br.RecordSuccess()
+			return rt, body, nil
+		}
+		if cached && !isTimeout(err) {
+			// Stale pooled connection; not a site failure.
+			p.rpcRetries.Add(site, 1)
+			rt, body, _, err = p.tryNodeRPC(site, t, payload)
+			if err == nil {
+				br.RecordSuccess()
+				return rt, body, nil
+			}
+		}
+		br.RecordFailure()
+		if isTimeout(err) || attempt >= p.bcfg.RetryBudget || !br.Allow() {
+			return 0, nil, err
+		}
+		p.rpcRetries.Add(site, 1)
+		pause := delay + time.Duration(int64(float64(delay)*0.5*float64(attempt+1)))
+		p.retryBackoff.Observe(int64(pause))
+		time.Sleep(pause)
+		delay *= 2
+	}
 }
 
 // tryNodeRPC is one attempt of nodeRPC; cached reports whether the
@@ -413,7 +629,10 @@ func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any) (MsgType, []byte
 	}
 	start := time.Now()
 	if p.rpcTimeout > 0 {
-		conn.SetDeadline(start.Add(p.rpcTimeout))
+		if err := conn.SetDeadline(start.Add(p.rpcTimeout)); err != nil {
+			p.failNode(site, err)
+			return 0, nil, cached, err
+		}
 	}
 	n, err := WriteFrame(conn, t, payload)
 	if err != nil {
@@ -427,7 +646,11 @@ func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any) (MsgType, []byte
 		return 0, nil, cached, err
 	}
 	if p.rpcTimeout > 0 {
-		conn.SetDeadline(time.Time{})
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			// The exchange succeeded but the connection is broken for
+			// reuse; drop it so the next RPC dials fresh.
+			p.dropConn(site)
+		}
 	}
 	p.nodeRx.Add(int64(rn))
 	p.rpcLatency.Observe(site, time.Since(start).Microseconds())
