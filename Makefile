@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke chaos fuzz-smoke
+.PHONY: all build vet test race bench-smoke bench-proxy chaos fuzz-smoke
 
 all: vet test
 
@@ -46,3 +46,24 @@ bench-smoke:
 	rm -f bench_obs.txt
 	cat BENCH_obs.json
 	$(GO) test -run='^$$' -bench=BenchmarkFig7TableCurves -benchtime=1x .
+
+# The concurrent-pipeline benchmark: 8 clients over a 4-site federation
+# with ~2ms of simulated WAN latency per conn operation, serial
+# (pre-pipeline, -max-inflight 1) vs concurrent (default bounds), plus
+# the pooled frame encoder's allocation budget. Distilled into
+# BENCH_proxy.json so CI archives throughput and speedup per commit.
+bench-proxy:
+	$(GO) test -run='^$$' -bench=BenchmarkProxyThroughput -benchtime=200x ./internal/wire/ | tee bench_proxy.txt
+	$(GO) test -run='^$$' -bench=BenchmarkWriteFrame -benchmem -benchtime=100000x ./internal/wire/ | tee -a bench_proxy.txt
+	awk 'BEGIN { print "{" } \
+	  /^BenchmarkProxyThroughput\/serial/ { serial = $$5 } \
+	  /^BenchmarkProxyThroughput\/concurrent8/ { conc = $$5 } \
+	  /^BenchmarkWriteFrame/ { fns = $$3; fallocs = $$7 } \
+	  END { \
+	    printf "  \"serial_qps\": %s,\n", serial; \
+	    printf "  \"concurrent8_qps\": %s,\n", conc; \
+	    printf "  \"speedup\": %.2f,\n", conc / serial; \
+	    printf "  \"write_frame\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}\n", fns, fallocs; \
+	    print "}" }' bench_proxy.txt > BENCH_proxy.json
+	rm -f bench_proxy.txt
+	cat BENCH_proxy.json

@@ -57,6 +57,9 @@ type options struct {
 	ledgerCap int64  // decision-ledger ring capacity (0 disables)
 	ledgerOut string // JSONL decision log path ("" disables)
 	shadow    bool   // run counterfactual shadow baselines
+
+	maxInflight int // concurrently pipelined client queries
+	poolSize    int // per-site connection-pool bound
 }
 
 func main() {
@@ -84,6 +87,8 @@ func main() {
 	flag.Int64Var(&o.ledgerCap, "ledger", 4096, "decision-ledger ring capacity in records (0 disables)")
 	flag.StringVar(&o.ledgerOut, "ledger-out", "", "append every decision record as JSONL to this file")
 	flag.BoolVar(&o.shadow, "shadow", true, "run counterfactual baselines (always-bypass, LRU-K) online")
+	flag.IntVar(&o.maxInflight, "max-inflight", wire.DefaultMaxInflight, "concurrently pipelined client queries (1 serializes the pipeline)")
+	flag.IntVar(&o.poolSize, "pool-size", wire.DefaultPoolSize, "per-site node connection pool bound (max checked-out conns)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -219,6 +224,8 @@ func start(o options) (*daemon, error) {
 	bcfg.RetryBudget = o.rpcRetries
 	bcfg.Seed = o.seed
 	proxy.SetBreakerConfig(bcfg)
+	proxy.SetConcurrency(o.maxInflight, 0)
+	proxy.SetPoolConfig(wire.PoolConfig{MaxActive: o.poolSize})
 	d := &daemon{proxy: proxy, ledger: ledSink}
 	if o.chaos != "" {
 		plan, err := faultnet.ParsePlan(o.chaos, o.chaosSeed)

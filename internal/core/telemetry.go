@@ -53,6 +53,15 @@ import (
 //	                          the name keeps the Prometheus convention
 //	                          while the unit stays integer-friendly
 //
+// Pipeline concurrency (the proxy's decide-then-execute split —
+// decisions stay sequential under the mediation lock, WAN legs and
+// whole queries overlap):
+//
+//	core.query_concurrency    gauge: client queries currently inside
+//	                          the proxy pipeline (mediation + legs)
+//	core.legs_inflight        gauge: WAN legs (object fetches and
+//	                          bypass sub-queries) currently executing
+//
 // Counterfactual accounting (fed by ShadowSet, see shadow.go):
 //
 //	core.shadow_wan_bytes             counter family, label = baseline
@@ -90,6 +99,9 @@ type Telemetry struct {
 	queryRate  *obs.Rate
 
 	decide *obs.Histogram
+
+	queryConcurrency *obs.Gauge
+	legsInflight     *obs.Gauge
 
 	shadowWAN       *obs.CounterFamily
 	optBoundBytes   *obs.Counter
@@ -143,6 +155,9 @@ func NewTelemetry(r *obs.Registry) *Telemetry {
 		queryRate:       r.Rate("core.query_rate"),
 
 		decide: r.Histogram("core.decide_seconds", DecideBuckets()),
+
+		queryConcurrency: r.Gauge("core.query_concurrency"),
+		legsInflight:     r.Gauge("core.legs_inflight"),
 
 		shadowWAN:       r.CounterFamily("core.shadow_wan_bytes"),
 		optBoundBytes:   r.Counter("core.optbound_bytes"),
@@ -221,6 +236,25 @@ func (t *Telemetry) ObserveDecide(d time.Duration) {
 		return
 	}
 	t.decide.Observe(int64(d))
+}
+
+// QueryInflight moves the core.query_concurrency gauge by delta; the
+// proxy brackets each client query's pipeline (+1 on entry, −1 on
+// exit), so the gauge reads the instantaneous overlap.
+func (t *Telemetry) QueryInflight(delta int64) {
+	if t == nil {
+		return
+	}
+	t.queryConcurrency.Add(delta)
+}
+
+// LegInflight moves the core.legs_inflight gauge by delta; the proxy
+// brackets each WAN leg (object fetch or bypass sub-query).
+func (t *Telemetry) LegInflight(delta int64) {
+	if t == nil {
+		return
+	}
+	t.legsInflight.Add(delta)
 }
 
 // RecordShadow charges WAN traffic a shadow baseline would have

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"bypassyield/internal/catalog"
@@ -57,12 +58,28 @@ type SiteHealth interface {
 // the proxy cache: it receives SQL, resolves it against the release,
 // executes it, decomposes the yield across referenced objects, and
 // drives the cache policy with full flow accounting.
+//
+// The mediator is safe for concurrent use. Query execution (bind,
+// engine evaluation, yield decomposition) runs lock-free — the engine
+// is an immutable column store with atomic counters — while the
+// decision phase (query clock, policy, accounting, ledger, shadows)
+// runs under one internal mutex. Decisions therefore stay globally
+// ordered: each query observes a consistent policy state, the clock t
+// increments once per query, and Σ decision yields = D_A holds exactly
+// however many queries overlap. Callers execute the decided WAN legs
+// after QueryStmtTraced returns, outside any mediator lock — the
+// decide-then-execute handoff.
 type Mediator struct {
 	cfg     Config
 	objects map[core.ObjectID]core.Object
-	acct    core.Accounting
-	t       int64
 	health  SiteHealth
+
+	// mu guards the sequential decision state below: the query clock,
+	// accounting, policy, ledger ordering, shadow baselines, and the
+	// eviction watermark.
+	mu   sync.Mutex
+	acct core.Accounting
+	t    int64
 
 	// Telemetry (no-ops when cfg.Obs is nil).
 	tel           *core.Telemetry
@@ -173,7 +190,11 @@ func (m *Mediator) Obs() *obs.Registry { return m.cfg.Obs }
 
 // SetHealth attaches a site-health source (the proxy's breakers).
 // Nil detaches; every site is then considered available.
-func (m *Mediator) SetHealth(h SiteHealth) { m.health = h }
+func (m *Mediator) SetHealth(h SiteHealth) {
+	m.mu.Lock()
+	m.health = h
+	m.mu.Unlock()
+}
 
 // Objects returns the cacheable-object universe.
 func (m *Mediator) Objects() map[core.ObjectID]core.Object { return m.objects }
@@ -188,17 +209,81 @@ func (m *Mediator) Granularity() Granularity { return m.cfg.Granularity }
 // disabled).
 func (m *Mediator) Policy() core.Policy { return m.cfg.Policy }
 
-// Accounting returns the accumulated flow accounting.
-func (m *Mediator) Accounting() core.Accounting { return m.acct }
+// Accounting returns the accumulated flow accounting (a consistent
+// snapshot: never mid-query).
+func (m *Mediator) Accounting() core.Accounting {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acct
+}
+
+// Telemetry returns the mediator's core telemetry (nil when
+// observability is not configured); the proxy publishes its pipeline
+// concurrency gauges through it.
+func (m *Mediator) Telemetry() *core.Telemetry { return m.tel }
 
 // Ledger returns the decision ledger (nil when not configured).
 func (m *Mediator) Ledger() *ledger.Ledger { return m.ledger }
 
 // Shadows returns the counterfactual shadow set (nil when disabled).
+// The set mutates under the mediator's decision lock; concurrent
+// readers should prefer ShadowStats.
 func (m *Mediator) Shadows() *core.ShadowSet { return m.shadows }
 
+// PolicyStats is a consistent snapshot of the cache policy's
+// externally visible state, taken under the decision lock.
+type PolicyStats struct {
+	Name     string
+	Used     int64
+	Capacity int64
+	// Contents lists cached object ids when the policy implements
+	// core.ContentLister (nil otherwise).
+	Contents []core.ObjectID
+}
+
+// PolicyStats snapshots the policy under the decision lock so readers
+// never observe a cache mid-decision; ok is false when caching is
+// disabled.
+func (m *Mediator) PolicyStats() (ps PolicyStats, ok bool) {
+	pol := m.cfg.Policy
+	if pol == nil {
+		return PolicyStats{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps = PolicyStats{Name: pol.Name(), Used: pol.Used(), Capacity: pol.Capacity()}
+	if cl, isLister := pol.(core.ContentLister); isLister {
+		ps.Contents = cl.Contents()
+	}
+	return ps, true
+}
+
+// ShadowStats is a consistent snapshot of the counterfactual
+// baselines, taken under the decision lock.
+type ShadowStats struct {
+	Baselines             []core.ShadowResult
+	OptBoundBytes         int64
+	CompetitiveRatioMilli int64
+}
+
+// ShadowStats snapshots the shadow baselines under the decision lock;
+// zero-valued when shadows are disabled.
+func (m *Mediator) ShadowStats() ShadowStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ShadowStats{
+		Baselines:             m.shadows.Baselines(),
+		OptBoundBytes:         m.shadows.OptBound(),
+		CompetitiveRatioMilli: int64(m.shadows.CompetitiveRatio() * 1000),
+	}
+}
+
 // Clock returns the number of queries mediated so far.
-func (m *Mediator) Clock() int64 { return m.t }
+func (m *Mediator) Clock() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
 
 // Query parses, executes, and accounts one statement.
 func (m *Mediator) Query(sql string) (*QueryReport, error) {
@@ -219,6 +304,8 @@ func (m *Mediator) QueryStmt(sql string, stmt *sqlparse.SelectStmt) (*QueryRepor
 // the id, linking span waterfalls to the decisions inside them.
 func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceID string) (*QueryReport, error) {
 	start := time.Now()
+	// Execution phase — lock-free. Bind and engine evaluation read only
+	// immutable schema/column data; concurrent queries overlap here.
 	b, err := engine.Bind(m.cfg.Schema, stmt)
 	if err != nil {
 		return nil, err
@@ -227,6 +314,23 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 	if err != nil {
 		return nil, err
 	}
+	accs := Decompose(b, m.cfg.Schema.Name, res.Bytes, m.cfg.Granularity)
+	// Resolve objects before taking the lock; the universe is immutable.
+	objs := make([]core.Object, len(accs))
+	for i, acc := range accs {
+		obj, ok := m.objects[acc.Object]
+		if !ok {
+			return nil, fmt.Errorf("federation: decomposition produced unknown object %s", acc.Object)
+		}
+		objs[i] = obj
+	}
+
+	// Decision phase — the short critical section. Policy decisions,
+	// accounting, ledger records, and shadow replays stay sequential in
+	// query order so Σ decision yields = D_A is exact and every policy
+	// observes a consistent clock.
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.t++
 	m.acct.Queries++
 	m.queriesMet.Add(1)
@@ -236,11 +340,8 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 	if m.cfg.Policy != nil {
 		policyName = m.cfg.Policy.Name()
 	}
-	for _, acc := range Decompose(b, m.cfg.Schema.Name, res.Bytes, m.cfg.Granularity) {
-		obj, ok := m.objects[acc.Object]
-		if !ok {
-			return nil, fmt.Errorf("federation: decomposition produced unknown object %s", acc.Object)
-		}
+	for i, acc := range accs {
+		obj := objs[i]
 		// Degraded mode: an unavailable site makes bypass and load
 		// impossible, so the policy is not consulted (outage traffic
 		// must not distort its learned rate profiles). The access is

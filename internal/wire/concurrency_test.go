@@ -1,0 +1,286 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/faultnet"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/ledger"
+)
+
+// concurrentFederation is testLedgerFederation exposing the proxy and
+// nodes so concurrency tests can read their registries directly.
+func concurrentFederation(t *testing.T, policy core.Policy) (addr string, proxy *Proxy, nodes map[string]*DBNode, shutdown func()) {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := func(string, ...any) {}
+
+	sites := map[string]bool{}
+	for i := range s.Tables {
+		sites[s.Tables[i].Site] = true
+	}
+	nodes = map[string]*DBNode{}
+	addrs := map[string]string{}
+	for site := range sites {
+		n := NewDBNode(site, db)
+		n.SetLogf(quiet)
+		naddr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[site] = n
+		addrs[site] = naddr
+	}
+
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db, Policy: policy, Granularity: federation.Columns,
+		Obs:     obs.NewRegistry(),
+		Ledger:  ledger.New(4096),
+		Shadows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy = NewProxy(med, federation.Columns, addrs)
+	proxy.SetLogf(quiet)
+	addr, err = proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr, proxy, nodes, func() {
+		proxy.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+// TestConcurrentQueriesReconcileExactly is the pipeline's accounting
+// acceptance test (run it with -race): 8 concurrent clients hammer all
+// three EDR sites, and afterwards every sequential-era invariant must
+// still hold exactly — one ledger record per access, Σ ledger yields =
+// D_A, Σ WAN charges = D_S + D_L, Σ client-observed result bytes =
+// D_A, the shadow-savings gauge equals the baseline identity, and the
+// inflight gauges have drained to zero.
+func TestConcurrentQueriesReconcileExactly(t *testing.T) {
+	capBytes := catalog.EDR().TotalBytes()
+	addr, proxy, _, shutdown := concurrentFederation(t,
+		core.NewRateProfile(core.RateProfileConfig{Capacity: capBytes}))
+	defer shutdown()
+
+	queries := []string{
+		"select ra, dec from photoobj where ra between 0 and 350",
+		"select z from specobj where z < 3",
+		"select ra from photoobj",
+		"select z, zconf from specobj",
+	}
+	const clients = 8
+	const perClient = 10
+	var delivered atomic.Int64 // Σ result bytes observed by clients
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				res, err := cl.Query(queries[(c+i)%len(queries)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Partial || len(res.TransportErrors) > 0 {
+					t.Errorf("client %d query %d degraded: partial=%v transport=%v",
+						c, i, res.Partial, res.TransportErrors)
+				}
+				delivered.Add(res.Bytes)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := cl.Decisions(DecisionsMsg{Limit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := st.Acct
+
+	if st.Queries != clients*perClient {
+		t.Fatalf("mediated %d queries, want %d", st.Queries, clients*perClient)
+	}
+	// Clients collectively received exactly what the mediator charged.
+	if got := delivered.Load(); got != acct.DeliveredBytes() {
+		t.Fatalf("Σ client result bytes = %d, want D_A = %d", got, acct.DeliveredBytes())
+	}
+	if dec.Total != uint64(acct.Accesses) {
+		t.Fatalf("ledger total = %d, want one record per access (%d)", dec.Total, acct.Accesses)
+	}
+	var sumYield, sumWAN int64
+	actions := map[string]int64{}
+	for _, r := range dec.Records {
+		sumYield += r.Yield
+		sumWAN += r.WANCost
+		actions[r.Action]++
+	}
+	if sumYield != acct.DeliveredBytes() {
+		t.Fatalf("Σ ledger yields = %d, want D_A = %d", sumYield, acct.DeliveredBytes())
+	}
+	if sumWAN != acct.WANBytes() {
+		t.Fatalf("Σ ledger WAN = %d, want D_S+D_L = %d", sumWAN, acct.WANBytes())
+	}
+	if actions["hit"] != acct.Hits || actions["bypass"] != acct.Bypasses || actions["load"] != acct.Loads {
+		t.Fatalf("ledger action counts %v, want hits=%d bypasses=%d loads=%d",
+			actions, acct.Hits, acct.Bypasses, acct.Loads)
+	}
+
+	// Shadow identity survives interleaving: always-bypass WAN is the
+	// raw yield total, and the exported savings gauge matches it.
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bypassShadow *core.ShadowResult
+	for i := range dec.Baselines {
+		if dec.Baselines[i].Name == "always-bypass" {
+			bypassShadow = &dec.Baselines[i]
+		}
+	}
+	if bypassShadow == nil {
+		t.Fatalf("no always-bypass baseline in %+v", dec.Baselines)
+	}
+	if got := bypassShadow.Acct.WANBytes(); got != acct.YieldBytes {
+		t.Fatalf("always-bypass shadow WAN = %d, want sequence cost %d", got, acct.YieldBytes)
+	}
+	wantSaved := bypassShadow.Acct.WANBytes() - acct.WANBytes()
+	if got := m.Snapshot.GaugeValue("core.bytes_saved_vs_bypass"); got != wantSaved {
+		t.Fatalf("core.bytes_saved_vs_bypass = %d, want %d", got, wantSaved)
+	}
+
+	// Quiescence: with no query in flight the pipeline gauges and every
+	// per-site pool-active gauge must be back at zero.
+	snap := proxy.Obs().Snapshot()
+	if got := snap.GaugeValue("core.query_concurrency"); got != 0 {
+		t.Fatalf("core.query_concurrency = %d after drain, want 0", got)
+	}
+	if got := snap.GaugeValue("core.legs_inflight"); got != 0 {
+		t.Fatalf("core.legs_inflight = %d after drain, want 0", got)
+	}
+	for site, sp := range proxy.pools {
+		if active, _ := sp.Stats(); active != 0 {
+			t.Fatalf("pool %s still has %d active conns after drain", site, active)
+		}
+	}
+}
+
+// alwaysLoad is a degenerate policy that loads on every access and
+// never admits the object — so concurrent queries for one object all
+// decide Load, the worst case the single-flight group must absorb.
+type alwaysLoad struct{}
+
+func (alwaysLoad) Name() string                                   { return "always-load" }
+func (alwaysLoad) Access(int64, core.Object, int64) core.Decision { return core.Load }
+func (alwaysLoad) Used() int64                                    { return 0 }
+func (alwaysLoad) Capacity() int64                                { return 1 << 40 }
+func (alwaysLoad) Contains(core.ObjectID) bool                    { return false }
+func (alwaysLoad) Evictions() int64                               { return 0 }
+func (alwaysLoad) Reset()                                         {}
+
+// TestConcurrentLoadsSingleFlight proves the dedup end to end: M
+// clients concurrently trigger Load decisions for the same object over
+// a slow WAN, and the node must see fetch RPCs only for the flights
+// that could not piggyback — fetches + coalesced = loads, with at
+// least one coalesced under this much overlap.
+func TestConcurrentLoadsSingleFlight(t *testing.T) {
+	addr, proxy, nodes, shutdown := concurrentFederation(t, alwaysLoad{})
+	defer shutdown()
+
+	// ~25ms per conn operation makes each fetch slow enough that the
+	// other clients' legs arrive while the leader's RPC is in flight.
+	inj := faultnet.NewInjector(7)
+	defer inj.Stop()
+	inj.Set(faultnet.Faults{Latency: 25 * time.Millisecond})
+	proxy.SetDialer(func(_, a string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", a, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Conn(c), nil
+	})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if _, err := cl.Query("select ra from photoobj"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Acct.Loads != clients {
+		t.Fatalf("loads = %d, want %d (one per query)", st.Acct.Loads, clients)
+	}
+	fetches := nodes[catalog.SitePhoto].Obs().Snapshot().CounterValue("dbnode.fetches", "")
+	coalesced := proxy.Obs().Snapshot().CounterTotal("wire.fetch_coalesced")
+	if fetches+coalesced != st.Acct.Loads {
+		t.Fatalf("fetch RPCs (%d) + coalesced (%d) = %d, want loads = %d",
+			fetches, coalesced, fetches+coalesced, st.Acct.Loads)
+	}
+	if coalesced == 0 {
+		t.Fatal("no fetch was coalesced despite 8 concurrent loads of one object")
+	}
+}

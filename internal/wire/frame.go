@@ -10,10 +10,12 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MsgType identifies a frame's payload.
@@ -96,25 +98,55 @@ func (t MsgType) String() string {
 // prefixes).
 const MaxFrame = 16 << 20
 
+// frameBuf is a reusable encode buffer: the buffer accumulates header
+// and payload so a frame hits the socket in one Write, and the encoder
+// is bound to the buffer once so steady-state encoding reuses its
+// scratch space instead of reallocating per frame.
+type frameBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// frameBufMaxCap bounds buffers returned to the pool; an occasional
+// giant frame must not pin megabytes of scratch forever.
+const frameBufMaxCap = 1 << 20
+
+var framePool = sync.Pool{
+	New: func() any {
+		fb := &frameBuf{}
+		fb.enc = json.NewEncoder(&fb.buf)
+		return fb
+	},
+}
+
 // WriteFrame writes one frame and returns the bytes put on the wire.
+// Encode buffers are pooled (≤ 1 allocation per frame steady-state —
+// see BenchmarkWriteFrame) and each frame reaches w in a single Write.
 func WriteFrame(w io.Writer, t MsgType, payload any) (int, error) {
-	body, err := json.Marshal(payload)
-	if err != nil {
+	fb := framePool.Get().(*frameBuf)
+	defer func() {
+		if fb.buf.Cap() <= frameBufMaxCap {
+			framePool.Put(fb)
+		}
+	}()
+	fb.buf.Reset()
+	var hdr [5]byte // length+type placeholder, patched below
+	fb.buf.Write(hdr[:])
+	if err := fb.enc.Encode(payload); err != nil {
 		return 0, fmt.Errorf("wire: marshal: %w", err)
 	}
-	if len(body) > MaxFrame {
-		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	frame := fb.buf.Bytes()
+	body := len(frame) - len(hdr) - 1 // Encode appends a trailing newline
+	frame = frame[:len(hdr)+body]
+	if body > MaxFrame {
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", body)
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(frame[:4], uint32(body))
+	frame[4] = byte(t)
+	if _, err := w.Write(frame); err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(body); err != nil {
-		return 0, err
-	}
-	return len(hdr) + len(body), nil
+	return len(frame), nil
 }
 
 // readChunk bounds each body allocation: a corrupt length prefix

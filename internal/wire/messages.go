@@ -41,6 +41,11 @@ type ResultMsg struct {
 	// stale) or dropped. SiteErrors carries the per-site detail.
 	Partial    bool           `json:"partial,omitempty"`
 	SiteErrors []SiteErrorMsg `json:"site_errors,omitempty"`
+	// TransportErrors lists WAN legs (fetches, sub-queries) that
+	// failed at the transport layer after mediation decided and
+	// accounted them. The logical result is unaffected — accounting is
+	// over logical sizes — but clients can see which sites misbehaved.
+	TransportErrors []SiteErrorMsg `json:"transport_errors,omitempty"`
 }
 
 // SiteErrorMsg annotates one unavailable site's contribution to a

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"bypassyield/internal/obs"
+)
+
+// DefaultPoolSize is the per-site bound on concurrently checked-out
+// node connections (and on idle connections kept for reuse).
+const DefaultPoolSize = 8
+
+// PoolConfig tunes one site's connection pool.
+type PoolConfig struct {
+	// MaxActive bounds connections checked out at once; a Get beyond
+	// the bound blocks until a connection is returned. ≤ 0 means
+	// DefaultPoolSize.
+	MaxActive int
+	// MaxIdle bounds connections parked for reuse; returns beyond the
+	// bound close the connection. ≤ 0 means MaxActive.
+	MaxIdle int
+}
+
+func (c PoolConfig) sanitize() PoolConfig {
+	if c.MaxActive <= 0 {
+		c.MaxActive = DefaultPoolSize
+	}
+	if c.MaxIdle <= 0 {
+		c.MaxIdle = c.MaxActive
+	}
+	return c
+}
+
+// poolMetrics carries the registry handles shared by every site's
+// pool; labels are site names.
+type poolMetrics struct {
+	active *obs.GaugeFamily   // wire.pool_active: checked-out conns
+	idle   *obs.GaugeFamily   // wire.pool_idle: parked conns
+	waits  *obs.CounterFamily // wire.pool_waits: Gets that blocked on MaxActive
+	dials  *obs.CounterFamily // wire.node_dials
+	drops  *obs.CounterFamily // wire.node_conn_drops
+}
+
+// pool is a bounded per-site connection pool. Reuse is MRU — the most
+// recently returned connection is handed out first, keeping the
+// working set small and idle connections cold enough to notice
+// staleness early. Concurrent Gets beyond MaxActive block (counted in
+// wire.pool_waits) until a connection is returned or discarded, so a
+// site's legs self-limit without a global lock.
+type pool struct {
+	site string
+	addr string
+	dial func(site, addr string) (net.Conn, error)
+	cfg  PoolConfig
+	m    poolMetrics
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	idle   []net.Conn // MRU stack: append on Put, pop from the end on Get
+	active int        // checked-out connections
+	closed bool
+}
+
+func newPool(site, addr string, cfg PoolConfig, dial func(site, addr string) (net.Conn, error), m poolMetrics) *pool {
+	p := &pool{site: site, addr: addr, dial: dial, cfg: cfg.sanitize(), m: m}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Get checks out a connection, reporting whether it was reused from
+// the idle stack. fresh skips — and discards — idle connections: the
+// caller just saw a pooled connection fail, so its siblings are
+// presumed stale too and the attempt must dial. Blocks while MaxActive
+// connections are checked out.
+func (p *pool) Get(fresh bool) (conn net.Conn, reused bool, err error) {
+	p.mu.Lock()
+	for p.active >= p.cfg.MaxActive && !p.closed {
+		p.m.waits.Add(p.site, 1)
+		p.cond.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("wire: pool %s closed", p.site)
+	}
+	if fresh {
+		p.dropIdleLocked()
+	}
+	if n := len(p.idle); n > 0 {
+		conn = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.m.idle.Set(p.site, int64(len(p.idle)))
+		p.checkoutLocked()
+		p.mu.Unlock()
+		return conn, true, nil
+	}
+	// Reserve the slot before dialing so concurrent Gets cannot
+	// overshoot MaxActive while the dial is in flight.
+	p.checkoutLocked()
+	p.mu.Unlock()
+	conn, err = p.dial(p.site, p.addr)
+	if err != nil {
+		p.release()
+		return nil, false, err
+	}
+	p.m.dials.Add(p.site, 1)
+	return conn, false, nil
+}
+
+// checkoutLocked claims one active slot. Caller holds mu.
+func (p *pool) checkoutLocked() {
+	p.active++
+	p.m.active.Set(p.site, int64(p.active))
+}
+
+// release frees one active slot and wakes a waiter.
+func (p *pool) release() {
+	p.mu.Lock()
+	p.active--
+	p.m.active.Set(p.site, int64(p.active))
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Put returns a healthy connection for reuse. Beyond MaxIdle (or
+// after Close) the connection is closed instead of parked.
+func (p *pool) Put(conn net.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.cfg.MaxIdle {
+		p.active--
+		p.m.active.Set(p.site, int64(p.active))
+		p.cond.Signal()
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.idle = append(p.idle, conn)
+	p.m.idle.Set(p.site, int64(len(p.idle)))
+	p.active--
+	p.m.active.Set(p.site, int64(p.active))
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Discard closes a checked-out connection after a failure and frees
+// its slot.
+func (p *pool) Discard(conn net.Conn) {
+	conn.Close()
+	p.m.drops.Add(p.site, 1)
+	p.release()
+}
+
+// dropIdleLocked closes every parked connection. Caller holds mu.
+func (p *pool) dropIdleLocked() {
+	for _, c := range p.idle {
+		c.Close()
+		p.m.drops.Add(p.site, 1)
+	}
+	p.idle = p.idle[:0]
+	p.m.idle.Set(p.site, 0)
+}
+
+// DropIdle closes every parked connection — the breaker calls it when
+// a site trips open, so a recovered site starts from fresh dials
+// instead of replaying RPCs into half-dead sockets.
+func (p *pool) DropIdle() {
+	p.mu.Lock()
+	p.dropIdleLocked()
+	p.mu.Unlock()
+}
+
+// Close drops idle connections and fails all current and future Gets.
+// Checked-out connections are closed by their holders via Put/Discard.
+func (p *pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	p.m.idle.Set(p.site, 0)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Stats reports checked-out and idle connection counts (tests and
+// diagnostics).
+func (p *pool) Stats() (active, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active, len(p.idle)
+}

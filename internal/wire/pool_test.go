@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bypassyield/internal/obs"
+)
+
+// testPoolMetrics builds a metrics bundle on a private registry.
+func testPoolMetrics() poolMetrics {
+	r := obs.NewRegistry()
+	return poolMetrics{
+		active: r.GaugeFamily("wire.pool_active"),
+		idle:   r.GaugeFamily("wire.pool_idle"),
+		waits:  r.CounterFamily("wire.pool_waits"),
+		dials:  r.CounterFamily("wire.node_dials"),
+		drops:  r.CounterFamily("wire.node_conn_drops"),
+	}
+}
+
+// pipeDialer fabricates connections without a network: each dial
+// returns the client half of a net.Pipe and counts.
+func pipeDialer() (dial func(site, addr string) (net.Conn, error), dials *atomic.Int64) {
+	dials = &atomic.Int64{}
+	dial = func(_, _ string) (net.Conn, error) {
+		dials.Add(1)
+		c, s := net.Pipe()
+		go func() { // keep the server half from blocking writes
+			buf := make([]byte, 1024)
+			for {
+				if _, err := s.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		return c, nil
+	}
+	return dial, dials
+}
+
+func TestPoolReusesMRU(t *testing.T) {
+	dial, dials := pipeDialer()
+	p := newPool("photo", "x", PoolConfig{MaxActive: 4}, dial, testPoolMetrics())
+	defer p.Close()
+
+	c1, reused, err := p.Get(false)
+	if err != nil || reused {
+		t.Fatalf("first Get: reused=%v err=%v", reused, err)
+	}
+	p.Put(c1)
+	c2, reused, err := p.Get(false)
+	if err != nil || !reused {
+		t.Fatalf("second Get: reused=%v err=%v", reused, err)
+	}
+	if c2 != c1 {
+		t.Fatal("expected the parked connection back")
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("%d dials, want 1", n)
+	}
+	p.Put(c2)
+	if active, idle := p.Stats(); active != 0 || idle != 1 {
+		t.Fatalf("stats = (%d active, %d idle), want (0, 1)", active, idle)
+	}
+}
+
+func TestPoolBlocksAtMaxActive(t *testing.T) {
+	dial, _ := pipeDialer()
+	p := newPool("photo", "x", PoolConfig{MaxActive: 1}, dial, testPoolMetrics())
+	defer p.Close()
+
+	c1, _, err := p.Get(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan net.Conn, 1)
+	go func() {
+		c, _, err := p.Get(false)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- c
+	}()
+	select {
+	case <-got:
+		t.Fatal("second Get should block while MaxActive is checked out")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Put(c1)
+	select {
+	case c := <-got:
+		p.Put(c)
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Get never woke after Put")
+	}
+}
+
+func TestPoolFreshDrainsIdle(t *testing.T) {
+	dial, dials := pipeDialer()
+	p := newPool("photo", "x", PoolConfig{MaxActive: 4}, dial, testPoolMetrics())
+	defer p.Close()
+
+	c1, _, _ := p.Get(false)
+	p.Put(c1)
+	c2, reused, err := p.Get(true) // fresh: presume the parked conn stale
+	if err != nil || reused {
+		t.Fatalf("fresh Get: reused=%v err=%v", reused, err)
+	}
+	if c2 == c1 {
+		t.Fatal("fresh Get returned the stale parked connection")
+	}
+	if n := dials.Load(); n != 2 {
+		t.Fatalf("%d dials, want 2", n)
+	}
+	// The drained conn must be closed: reads on its pair would fail,
+	// and a write on the closed conn errors.
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("drained idle connection should be closed")
+	}
+	p.Put(c2)
+}
+
+func TestPoolMaxIdleOverflowCloses(t *testing.T) {
+	dial, _ := pipeDialer()
+	p := newPool("photo", "x", PoolConfig{MaxActive: 2, MaxIdle: 1}, dial, testPoolMetrics())
+	defer p.Close()
+
+	c1, _, _ := p.Get(false)
+	c2, _, _ := p.Get(false)
+	p.Put(c1)
+	p.Put(c2) // beyond MaxIdle: closed, not parked
+	if _, idle := p.Stats(); idle != 1 {
+		t.Fatalf("%d idle, want 1", idle)
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("overflow return should close the connection")
+	}
+}
+
+func TestPoolCloseFailsGets(t *testing.T) {
+	dial, _ := pipeDialer()
+	p := newPool("photo", "x", PoolConfig{MaxActive: 1}, dial, testPoolMetrics())
+	c1, _, err := p.Get(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := p.Get(false) // blocked on MaxActive
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blocked Get should fail when the pool closes")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Get never woke on Close")
+	}
+	if _, _, err := p.Get(false); err == nil {
+		t.Fatal("Get after Close should fail")
+	}
+	p.Discard(c1)
+}

@@ -28,11 +28,24 @@ const DefaultRPCTimeout = 10 * time.Second
 // stats response; larger caches report a prefix (sorted by id).
 const MaxStatsCachedObjects = 64
 
+// DefaultMaxInflight bounds concurrently pipelined client queries;
+// see Proxy.SetConcurrency and byproxyd -max-inflight.
+const DefaultMaxInflight = 64
+
 // Proxy is the paper's mediator-collocated bypass-yield cache as a
 // network daemon. Clients send SQL; the proxy mediates the query,
 // drives the cache policy, and exchanges sub-queries and object
 // fetches with the per-site database nodes for every bypassed or
 // loaded object.
+//
+// The query pipeline is concurrent: mediation's decision phase is a
+// short critical section inside the mediator (sequential, preserving
+// query ordering and exact Σ-yield = D_A accounting), while each
+// query's WAN legs — object fetches and bypass sub-queries — fan out
+// in parallel across sites over bounded per-site connection pools, and
+// whole queries overlap end-to-end up to the inflight bound.
+// Concurrent Load decisions for the same object are single-flighted:
+// one WAN fetch serves every waiter.
 //
 // Byte economics are logical (the mediator's Figure-1 accounting over
 // logical result sizes); the node RPCs carry bounded tuple samples,
@@ -59,13 +72,25 @@ const MaxStatsCachedObjects = 64
 //	wire.breaker_transitions           breaker transitions per site/state
 //	wire.retry_backoff_seconds         backoff slept before RPC retries (ns)
 //	wire.probes                        half-open probe RPCs per site/outcome
+//	wire.pool_active                   per-site node conns checked out
+//	wire.pool_idle                     per-site node conns parked for reuse
+//	wire.pool_waits                    per-site pool Gets that had to block
+//	wire.fetch_coalesced               object fetches served by another
+//	                                   in-flight fetch (single-flight dedup)
 type Proxy struct {
-	mu         sync.Mutex
+	mu         sync.Mutex // guards closed
 	med        *federation.Mediator
 	gran       federation.Granularity
 	nodeAddrs  map[string]string // site → address
-	nodeConns  map[string]net.Conn
+	pools      map[string]*pool  // read-only after construction
+	pcfg       PoolConfig
 	rpcTimeout time.Duration
+
+	// querySem bounds concurrently pipelined queries; legSem (nil =
+	// unbounded) bounds concurrently executing WAN legs across queries.
+	querySem    chan struct{}
+	legSem      chan struct{}
+	fetchFlight flightGroup
 
 	// dialer opens node connections; tests and -chaos replace it to
 	// interpose fault injectors.
@@ -100,6 +125,10 @@ type Proxy struct {
 	breakerTrans *obs.CounterFamily
 	retryBackoff *obs.Histogram
 	probes       *obs.CounterFamily
+	poolActive   *obs.GaugeFamily
+	poolIdle     *obs.GaugeFamily
+	poolWaits    *obs.CounterFamily
+	coalesced    *obs.CounterFamily
 }
 
 // NewProxy builds a proxy around a mediator. nodeAddrs maps each site
@@ -116,10 +145,11 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 		med:         med,
 		gran:        gran,
 		nodeAddrs:   nodeAddrs,
-		nodeConns:   make(map[string]net.Conn),
 		rpcTimeout:  DefaultRPCTimeout,
 		dialTimeout: DefaultDialTimeout,
 		bcfg:        DefaultBreakerConfig(),
+		pcfg:        PoolConfig{}.sanitize(),
+		querySem:    make(chan struct{}, DefaultMaxInflight),
 		logf:        log.Printf,
 		reg:         reg,
 	}
@@ -145,9 +175,32 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 	// Backoff pauses in nanoseconds, 1ms..16s exponential.
 	p.retryBackoff = reg.Histogram("wire.retry_backoff_seconds", obs.ExpBuckets(1_000_000, 4, 8))
 	p.probes = reg.CounterFamily("wire.probes")
+	p.poolActive = reg.GaugeFamily("wire.pool_active")
+	p.poolIdle = reg.GaugeFamily("wire.pool_idle")
+	p.poolWaits = reg.CounterFamily("wire.pool_waits")
+	p.coalesced = reg.CounterFamily("wire.fetch_coalesced")
 	p.buildBreakers()
+	p.buildPools()
 	med.SetHealth(p)
 	return p
+}
+
+// buildPools creates one bounded connection pool per configured node
+// site. The map is never mutated afterwards, so lock-free reads are
+// safe; each pool has its own lock.
+func (p *Proxy) buildPools() {
+	p.pools = make(map[string]*pool, len(p.nodeAddrs))
+	m := poolMetrics{
+		active: p.poolActive,
+		idle:   p.poolIdle,
+		waits:  p.poolWaits,
+		dials:  p.nodeDials,
+		drops:  p.nodeDrops,
+	}
+	dial := func(site, addr string) (net.Conn, error) { return p.dialer(site, addr) }
+	for site, addr := range p.nodeAddrs {
+		p.pools[site] = newPool(site, addr, p.pcfg, dial, m)
+	}
 }
 
 // buildBreakers creates one breaker per configured node site. The map
@@ -157,6 +210,13 @@ func (p *Proxy) buildBreakers() {
 	onTransition := func(site string, from, to BreakerState) {
 		p.breakerState.Set(site, int64(to))
 		p.breakerTrans.Add(site+"/"+to.String(), 1)
+		if to == BreakerOpen {
+			// Pooled idle connections to a tripped site are presumed
+			// dead; drop them so recovery starts from fresh dials.
+			if sp := p.pools[site]; sp != nil {
+				sp.DropIdle()
+			}
+		}
 		p.tracer.Event("proxy.breaker_transition",
 			obs.A("site", site), obs.A("from", from.String()), obs.A("to", to.String()))
 		p.logf("proxy: breaker %s: %s -> %s", site, from, to)
@@ -195,6 +255,31 @@ func (p *Proxy) SetDialer(f func(site, addr string) (net.Conn, error)) {
 func (p *Proxy) SetBreakerConfig(cfg BreakerConfig) {
 	p.bcfg = cfg.sanitize()
 	p.buildBreakers()
+}
+
+// SetPoolConfig replaces the per-site connection-pool bounds,
+// rebuilding the pools. Call before Listen.
+func (p *Proxy) SetPoolConfig(cfg PoolConfig) {
+	p.pcfg = cfg.sanitize()
+	p.buildPools()
+}
+
+// SetConcurrency tunes the pipeline: maxInflight bounds concurrently
+// pipelined client queries (≤ 0 restores DefaultMaxInflight;
+// 1 serializes queries end-to-end — the pre-pipeline behaviour);
+// maxLegs bounds WAN legs executing at once across all queries (≤ 0
+// means unbounded; per-site pressure is already capped by the pools).
+// Call before Listen.
+func (p *Proxy) SetConcurrency(maxInflight, maxLegs int) {
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	p.querySem = make(chan struct{}, maxInflight)
+	if maxLegs > 0 {
+		p.legSem = make(chan struct{}, maxLegs)
+	} else {
+		p.legSem = nil
+	}
 }
 
 // BreakerState reports a site's breaker position (closed for sites
@@ -244,16 +329,12 @@ func (p *Proxy) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and prober, closes node connections, and
-// waits.
+// Close stops the listener and prober, drains the connection pools,
+// and waits for in-flight connections.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
 	alreadyClosed := p.closed
 	p.closed = true
-	for _, c := range p.nodeConns {
-		c.Close()
-	}
-	p.nodeConns = make(map[string]net.Conn)
 	p.mu.Unlock()
 	if p.proberStop != nil && !alreadyClosed {
 		close(p.proberStop)
@@ -263,6 +344,9 @@ func (p *Proxy) Close() error {
 		err = p.ln.Close()
 	}
 	p.wg.Wait()
+	for _, sp := range p.pools {
+		sp.Close()
+	}
 	return err
 }
 
@@ -412,14 +496,31 @@ func (p *Proxy) serveConn(conn net.Conn) {
 	}
 }
 
+// leg is one unit of deferred WAN work decided during mediation: an
+// object fetch (load) or a bypass sub-query.
+type leg struct {
+	site   string
+	object string // fetch legs; "" for sub-queries
+	sql    string // sub-query legs; "" for fetches
+}
+
 // handleQuery mediates one client statement. ctx is the enclosing
 // proxy.query span's trace context (zero when tracing is off); every
 // leg — mediation, per-object decisions, fetches, sub-queries — is
 // emitted as a child span, and node RPC frames carry the leg's
 // context so the remote node's spans join the same tree.
+//
+// The pipeline is decide-then-execute: mediation (whose decision
+// phase the mediator serializes internally) produces the per-object
+// verdicts, then every WAN leg fans out concurrently across sites.
+// The result frame is sent only after all legs settle, so a client's
+// response still reflects its query's complete protocol exchange.
 func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.querySem <- struct{}{}
+	defer func() { <-p.querySem }()
+	tel := p.med.Telemetry()
+	tel.QueryInflight(1)
+	defer tel.QueryInflight(-1)
 
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -453,6 +554,7 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 	// bypassed object, and object fetches for every load. Forced and
 	// failed legs never reach the network — their sites are known
 	// unavailable.
+	var legs []leg
 	bypassedTables := map[string]bool{} // table name → has bypassed object
 	for _, d := range rep.Decisions {
 		verdict := d.Decision.String()
@@ -488,9 +590,7 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 		case core.Bypass:
 			bypassedTables[tableOfObject(string(d.Object))] = true
 		case core.Load:
-			if err := p.fetchObject(string(d.Object), d.Site, ctx); err != nil {
-				p.logf("proxy: fetch %s: %v", d.Object, err)
-			}
+			legs = append(legs, leg{site: d.Site, object: string(d.Object)})
 		}
 	}
 	if len(bypassedTables) > 0 {
@@ -501,13 +601,63 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 				if !bypassedTables[t.Name] {
 					continue
 				}
-				if err := p.shipSubquery(sub.String(), t.Site, ctx); err != nil {
-					p.logf("proxy: subquery to %s: %v", t.Site, err)
-				}
+				legs = append(legs, leg{site: t.Site, sql: sub.String()})
 			}
 		}
 	}
+	p.runLegs(legs, ctx, res)
 	return res, nil
+}
+
+// runLegs executes a query's WAN legs concurrently, one goroutine per
+// leg (globally throttled by legSem when configured, and per site by
+// the connection pools). Leg failures do not fail the query — the
+// mediator already accounted the decisions over logical sizes — but
+// they are logged and annotated on the result as transport errors.
+func (p *Proxy) runLegs(legs []leg, ctx obs.TraceContext, res *ResultMsg) {
+	if len(legs) == 0 {
+		return
+	}
+	tel := p.med.Telemetry()
+	var (
+		wg  sync.WaitGroup
+		emu sync.Mutex // guards res.TransportErrors
+	)
+	run := func(l leg) {
+		defer wg.Done()
+		if p.legSem != nil {
+			p.legSem <- struct{}{}
+			defer func() { <-p.legSem }()
+		}
+		tel.LegInflight(1)
+		defer tel.LegInflight(-1)
+		var err error
+		if l.object != "" {
+			err = p.fetchObject(l.object, l.site, ctx)
+			if err != nil {
+				p.logf("proxy: fetch %s: %v", l.object, err)
+			}
+		} else {
+			err = p.shipSubquery(l.sql, l.site, ctx)
+			if err != nil {
+				p.logf("proxy: subquery to %s: %v", l.site, err)
+			}
+		}
+		if err != nil {
+			emu.Lock()
+			res.TransportErrors = append(res.TransportErrors, SiteErrorMsg{Site: l.site, Error: err.Error()})
+			emu.Unlock()
+		}
+	}
+	wg.Add(len(legs))
+	if len(legs) == 1 {
+		run(legs[0]) // no goroutine churn for the common single-leg query
+		return
+	}
+	for _, l := range legs {
+		go run(l)
+	}
+	wg.Wait()
 }
 
 // tableOfObject extracts the table name from an object id
@@ -523,41 +673,12 @@ func tableOfObject(object string) string {
 	return rest
 }
 
-// nodeConn returns a connection to the site's node and whether it was
-// reused from the cache, or (nil, false, nil) when the site has no
-// configured node (simulation mode).
-func (p *Proxy) nodeConn(site string) (conn net.Conn, cached bool, err error) {
-	if c, ok := p.nodeConns[site]; ok {
-		return c, true, nil
-	}
-	addr, ok := p.nodeAddrs[site]
-	if !ok {
-		return nil, false, nil
-	}
-	c, err := p.dialer(site, addr)
-	if err != nil {
-		return nil, false, err
-	}
-	p.nodeDials.Add(site, 1)
-	p.nodeConns[site] = c
-	return c, false, nil
-}
-
-// dropConn closes and forgets a node connection after a failure.
-func (p *Proxy) dropConn(site string) {
-	if c, ok := p.nodeConns[site]; ok {
-		c.Close()
-		delete(p.nodeConns, site)
-		p.nodeDrops.Add(site, 1)
-	}
-}
-
-// failNode records an RPC failure: the connection is dropped and
-// deadline expiries are counted separately.
-func (p *Proxy) failNode(site string, err error) {
-	p.dropConn(site)
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
+// failConn records an RPC failure: the checked-out connection is
+// discarded back to its pool and deadline expiries are counted
+// separately.
+func (p *Proxy) failConn(sp *pool, conn net.Conn, site string, err error) {
+	sp.Discard(conn)
+	if isTimeout(err) {
 		p.rpcTimeouts.Add(site, 1)
 	}
 	p.rpcErrors.Add(site, 1)
@@ -576,13 +697,13 @@ func isTimeout(err error) bool {
 // site has no node (simulation mode), and a *SiteUnavailableError —
 // without touching the network — when the breaker is not closed.
 //
-// Retry rules: a cached (possibly stale) connection failing with a
+// Retry rules: a pooled (possibly stale) connection failing with a
 // non-timeout error is retried immediately over a fresh dial without
 // charging the breaker — idle-closed connections are normal, not site
 // failures. Genuine failures charge the breaker and retry after a
 // jittered exponential pause, up to RetryBudget extra attempts.
 // Timeouts never retry: the node is hung, and another attempt would
-// hold the mediation lock through another full deadline.
+// hold the leg's pool slot through another full deadline.
 func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, error) {
 	if _, hasNode := p.nodeAddrs[site]; !hasNode {
 		return 0, nil, nil
@@ -594,15 +715,17 @@ func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, e
 	}
 	delay := p.bcfg.RetryDelay
 	for attempt := 0; ; attempt++ {
-		rt, body, cached, err := p.tryNodeRPC(site, t, payload)
+		rt, body, reused, err := p.tryNodeRPC(site, t, payload, false)
 		if err == nil {
 			br.RecordSuccess()
 			return rt, body, nil
 		}
-		if cached && !isTimeout(err) {
-			// Stale pooled connection; not a site failure.
+		if reused && !isTimeout(err) {
+			// Stale pooled connection; not a site failure. Retry over a
+			// fresh dial (draining sibling idle conns, presumed equally
+			// stale).
 			p.rpcRetries.Add(site, 1)
-			rt, body, _, err = p.tryNodeRPC(site, t, payload)
+			rt, body, _, err = p.tryNodeRPC(site, t, payload, true)
 			if err == nil {
 				br.RecordSuccess()
 				return rt, body, nil
@@ -620,41 +743,44 @@ func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, e
 	}
 }
 
-// tryNodeRPC is one attempt of nodeRPC; cached reports whether the
-// attempt ran over a reused connection.
-func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any) (MsgType, []byte, bool, error) {
-	conn, cached, err := p.nodeConn(site)
-	if err != nil || conn == nil {
-		return 0, nil, cached, err
+// tryNodeRPC is one attempt of nodeRPC over a pooled connection;
+// reused reports whether the attempt ran over a pooled (rather than
+// freshly dialed) connection. fresh forces a fresh dial, discarding
+// pooled idle connections.
+func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any, fresh bool) (MsgType, []byte, bool, error) {
+	sp := p.pools[site]
+	conn, reused, err := sp.Get(fresh)
+	if err != nil {
+		return 0, nil, false, err
 	}
 	start := time.Now()
 	if p.rpcTimeout > 0 {
 		if err := conn.SetDeadline(start.Add(p.rpcTimeout)); err != nil {
-			p.failNode(site, err)
-			return 0, nil, cached, err
+			p.failConn(sp, conn, site, err)
+			return 0, nil, reused, err
 		}
 	}
 	n, err := WriteFrame(conn, t, payload)
 	if err != nil {
-		p.failNode(site, err)
-		return 0, nil, cached, err
+		p.failConn(sp, conn, site, err)
+		return 0, nil, reused, err
 	}
 	p.nodeTx.Add(int64(n))
 	rt, body, rn, err := ReadFrame(conn)
 	if err != nil {
-		p.failNode(site, err)
-		return 0, nil, cached, err
+		p.failConn(sp, conn, site, err)
+		return 0, nil, reused, err
 	}
-	if p.rpcTimeout > 0 {
-		if err := conn.SetDeadline(time.Time{}); err != nil {
-			// The exchange succeeded but the connection is broken for
-			// reuse; drop it so the next RPC dials fresh.
-			p.dropConn(site)
-		}
+	if p.rpcTimeout > 0 && conn.SetDeadline(time.Time{}) != nil {
+		// The exchange succeeded but the connection is broken for
+		// reuse; discard it so the next checkout dials fresh.
+		sp.Discard(conn)
+	} else {
+		sp.Put(conn)
 	}
 	p.nodeRx.Add(int64(rn))
 	p.rpcLatency.Observe(site, time.Since(start).Microseconds())
-	return rt, body, cached, nil
+	return rt, body, reused, nil
 }
 
 // shipSubquery sends a sub-query to the owning node and drains the
@@ -683,12 +809,26 @@ func (p *Proxy) shipSubquery(sql, site string, ctx obs.TraceContext) (err error)
 }
 
 // fetchObject performs an object-fetch RPC for a load decision, under
-// a proxy.fetch span propagated to the node.
+// a proxy.fetch span propagated to the node. Concurrent fetches of the
+// same object are single-flighted: one RPC serves every waiter
+// (counted in wire.fetch_coalesced), since a load's WAN transfer is
+// object-identical no matter which query triggered it.
 func (p *Proxy) fetchObject(object, site string, ctx obs.TraceContext) (err error) {
 	span := p.tracer.Child(ctx, "proxy.fetch",
 		obs.A("object", object), obs.A("site", site))
 	defer func() { endSpan(span, err) }()
-	sctx := span.Context()
+	err, shared := p.fetchFlight.Do(object, func() error {
+		return p.fetchObjectRPC(object, site, span.Context())
+	})
+	if shared {
+		p.coalesced.Add(site, 1)
+	}
+	return err
+}
+
+// fetchObjectRPC is the wire leg of fetchObject, run once per
+// single-flight group.
+func (p *Proxy) fetchObjectRPC(object, site string, sctx obs.TraceContext) error {
 	t, body, err := p.nodeRPC(site, MsgFetch, FetchMsg{
 		Object:     object,
 		TraceID:    obs.FormatID(sctx.TraceID),
@@ -729,16 +869,14 @@ const (
 // counterfactuals. An unconfigured ledger yields an empty result, not
 // an error, so byinspect degrades gracefully.
 func (p *Proxy) decisions(q DecisionsMsg) DecisionsResultMsg {
-	p.mu.Lock()
 	led := p.med.Ledger()
-	shadows := p.med.Shadows()
+	ss := p.med.ShadowStats() // snapshot under the mediator's decision lock
 	msg := DecisionsResultMsg{
 		Total:                 led.Count(),
-		Baselines:             shadows.Baselines(),
-		OptBoundBytes:         shadows.OptBound(),
-		CompetitiveRatioMilli: int64(shadows.CompetitiveRatio() * 1000),
+		Baselines:             ss.Baselines,
+		OptBoundBytes:         ss.OptBoundBytes,
+		CompetitiveRatioMilli: ss.CompetitiveRatioMilli,
 	}
-	p.mu.Unlock()
 
 	limit := q.Limit
 	if limit <= 0 {
@@ -756,10 +894,10 @@ func (p *Proxy) decisions(q DecisionsMsg) DecisionsResultMsg {
 	return msg
 }
 
-// stats snapshots the proxy state.
+// stats snapshots the proxy state. Mediator state is read through
+// decision-lock snapshots, so a stats scrape never observes the cache
+// mid-decision.
 func (p *Proxy) stats() StatsResultMsg {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	msg := StatsResultMsg{
 		Granularity: p.gran.String(),
 		Acct:        p.med.Accounting(),
@@ -767,19 +905,17 @@ func (p *Proxy) stats() StatsResultMsg {
 		TransportRx: p.nodeRx.Value(),
 		Queries:     p.med.Clock(),
 	}
-	if pol := p.med.Policy(); pol != nil {
-		msg.Policy = pol.Name()
-		msg.CacheUsed = pol.Used()
-		msg.CacheCapacity = pol.Capacity()
-		if cl, ok := pol.(core.ContentLister); ok {
-			ids := cl.Contents()
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			if len(ids) > MaxStatsCachedObjects {
-				ids = ids[:MaxStatsCachedObjects]
-			}
-			for _, id := range ids {
-				msg.CachedObjects = append(msg.CachedObjects, string(id))
-			}
+	if ps, ok := p.med.PolicyStats(); ok {
+		msg.Policy = ps.Name
+		msg.CacheUsed = ps.Used
+		msg.CacheCapacity = ps.Capacity
+		ids := ps.Contents
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if len(ids) > MaxStatsCachedObjects {
+			ids = ids[:MaxStatsCachedObjects]
+		}
+		for _, id := range ids {
+			msg.CachedObjects = append(msg.CachedObjects, string(id))
 		}
 	} else {
 		msg.Policy = "none"

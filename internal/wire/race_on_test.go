@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation assertions skip under it because sync.Pool deliberately
+// drops items in race mode.
+const raceEnabled = true

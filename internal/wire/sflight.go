@@ -1,0 +1,47 @@
+package wire
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution — the proxy keys it by object id so M concurrent Load
+// decisions for the same object issue exactly one WAN fetch. Unlike a
+// cache, nothing is remembered once the call returns: a later Load of
+// the same object (evict-and-reload) fetches again.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight execution and its waiters.
+type flightCall struct {
+	done chan struct{}
+	err  error
+	dups int64
+}
+
+// Do executes fn for key, unless a call for key is already in flight,
+// in which case it waits for that call and shares its error. shared
+// reports whether this caller piggybacked on another's execution.
+func (g *flightGroup) Do(key string, fn func() error) (err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.err, false
+}

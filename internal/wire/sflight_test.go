@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupCoalesces proves the single-flight contract: M
+// concurrent calls for one key execute fn exactly once, with M-1
+// callers reporting shared=true and all sharing the leader's error.
+func TestFlightGroupCoalesces(t *testing.T) {
+	const m = 16
+	var (
+		g       flightGroup
+		execs   atomic.Int64
+		shared  atomic.Int64
+		release = make(chan struct{})
+		entered = make(chan struct{}, m)
+		wg      sync.WaitGroup
+	)
+	sentinel := errors.New("fetch failed")
+	fn := func() error {
+		execs.Add(1)
+		<-release // block so every caller piles onto this flight
+		return sentinel
+	}
+	wg.Add(m)
+	for i := 0; i < m; i++ {
+		go func() {
+			defer wg.Done()
+			entered <- struct{}{}
+			err, sh := g.Do("edr/photoobj", fn)
+			if !errors.Is(err, sentinel) {
+				t.Errorf("err = %v, want sentinel", err)
+			}
+			if sh {
+				shared.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < m; i++ {
+		<-entered
+	}
+	// All m goroutines are at or past Do; wait until the followers are
+	// parked on the leader before releasing it.
+	for {
+		g.mu.Lock()
+		c := g.m["edr/photoobj"]
+		var dups int64
+		if c != nil {
+			dups = c.dups
+		}
+		g.mu.Unlock()
+		if dups == m-1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := shared.Load(); n != m-1 {
+		t.Fatalf("%d shared callers, want %d", n, m-1)
+	}
+}
+
+// Distinct keys must not coalesce.
+func TestFlightGroupDistinctKeys(t *testing.T) {
+	var g flightGroup
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			g.Do(k, func() error { execs.Add(1); return nil })
+		}(key)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 3 {
+		t.Fatalf("fn executed %d times, want 3", n)
+	}
+}
+
+// A completed flight must not be remembered: single-flight is not a
+// cache, so evict-and-reload fetches the object again.
+func TestFlightGroupRerunsAfterCompletion(t *testing.T) {
+	var g flightGroup
+	var execs int
+	for i := 0; i < 3; i++ {
+		err, shared := g.Do("k", func() error { execs++; return nil })
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+	}
+	if execs != 3 {
+		t.Fatalf("fn executed %d times, want 3", execs)
+	}
+}
