@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-proxy chaos fuzz-smoke
+.PHONY: all build vet test race bench-smoke bench-proxy bench-synth chaos fuzz-smoke
 
 all: vet test
 
@@ -24,6 +24,7 @@ chaos:
 	$(GO) test -race -v ./internal/faultnet/
 	$(GO) test -race -v -run 'TestChaos|TestBreaker|TestSiteUnavailable|TestDegraded|TestHealthDetached' \
 		./internal/wire/ ./internal/federation/
+	$(GO) test -race -v -run 'TestChaosSynth' ./cmd/bysynth/
 
 # A bounded fuzz of the frame reader: corrupt headers and truncated
 # bodies must never panic or over-allocate.
@@ -67,3 +68,12 @@ bench-proxy:
 	    print "}" }' bench_proxy.txt > BENCH_proxy.json
 	rm -f bench_proxy.txt
 	cat BENCH_proxy.json
+
+# The open-loop load harness against a real two-node federation: bydbd
+# for the photo and spec sites, byproxyd mediating, bysynth driving
+# the canned steady scenario (100 rps x 10s) over the wire protocol.
+# The run report — achieved vs target RPS, p50/p99/p999 latency, SLO
+# attainment, shed/error/degraded counts, proxy byte flow by decision
+# class — lands in BENCH_synth.json for CI to archive.
+bench-synth:
+	sh scripts/bench_synth.sh

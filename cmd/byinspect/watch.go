@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"bypassyield/internal/obs"
@@ -66,6 +67,7 @@ func renderDeltas(w io.Writer, prev, cur obs.Snapshot, interval time.Duration) {
 	if moved == 0 {
 		fmt.Fprintln(w, "  (idle: no counter movement)")
 	}
+	renderLatencies(w, prev, cur)
 	if len(cur.Rates) > 0 {
 		fmt.Fprintln(w, "  windowed rates:")
 		for _, r := range cur.Rates {
@@ -73,4 +75,43 @@ func renderDeltas(w io.Writer, prev, cur obs.Snapshot, interval time.Duration) {
 				r.Name, r.PerSecond, r.WindowSeconds)
 		}
 	}
+}
+
+// renderLatencies prints compact quantile columns for every histogram
+// that saw observations during the interval, computed over the delta
+// window (HistogramSnap.Sub) so a long-running daemon's history does
+// not wash out the last few seconds.
+func renderLatencies(w io.Writer, prev, cur obs.Snapshot) {
+	base := map[string]obs.HistogramSnap{}
+	for _, h := range prev.Histograms {
+		base[h.Name+"\x00"+h.Label] = h
+	}
+	printed := false
+	for _, h := range cur.Histograms {
+		d := h.Sub(base[h.Name+"\x00"+h.Label])
+		if d.Count == 0 {
+			continue
+		}
+		if !printed {
+			printed = true
+			fmt.Fprintf(w, "  latency:      %10s %10s %10s %8s\n", "p50", "p99", "p999", "n")
+		}
+		name := h.Name
+		if h.Label != "" {
+			name += "{" + h.Label + "}"
+		}
+		q := d.Quantiles(0.50, 0.99, 0.999)
+		fmt.Fprintf(w, "    %-38s %8s %10s %10s %8d\n",
+			name, fmtObs(h.Name, q[0]), fmtObs(h.Name, q[1]), fmtObs(h.Name, q[2]), d.Count)
+	}
+}
+
+// fmtObs renders one histogram observation: microsecond histograms
+// (the repo convention is a _us suffix) read as milliseconds, others
+// as raw values.
+func fmtObs(name string, v int64) string {
+	if strings.HasSuffix(name, "_us") {
+		return fmt.Sprintf("%.2fms", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%d", v)
 }

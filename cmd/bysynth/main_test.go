@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/faultnet"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
+	"bypassyield/internal/synth"
+	"bypassyield/internal/wire"
+)
+
+func TestLoadScenarioPrecedence(t *testing.T) {
+	// Canned by name, with overrides.
+	sc, err := loadScenario(options{scenario: "steady", seed: 99, release: "dr1", arrival: "uniform", timeScale: 2, rpsScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "steady" || sc.Seed != 99 || sc.Release != "dr1" || sc.Arrival != "uniform" {
+		t.Fatalf("overrides not applied: %+v", sc)
+	}
+	if got := sc.TotalDuration(); got != 5*time.Second {
+		t.Fatalf("time-scale 2 on steady: duration = %v, want 5s", got)
+	}
+
+	// The slot grammar builds an ad-hoc scenario.
+	sc, err = loadScenario(options{slots: "ramp:10..40x2s", scenario: "steady", timeScale: 1, rpsScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "adhoc" || len(sc.Slots) != 1 || sc.Slots[0].Shape != synth.ShapeRamp {
+		t.Fatalf("slots grammar ignored: %+v", sc)
+	}
+
+	// A spec file wins over both.
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(spec, []byte(`{"name":"from-file","seed":3,"slots":[{"shape":"constant","rps":5,"duration":"1s"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err = loadScenario(options{specPath: spec, slots: "constant:1x1s", scenario: "steady", timeScale: 1, rpsScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "from-file" {
+		t.Fatalf("spec file did not win: %+v", sc)
+	}
+
+	if _, err := loadScenario(options{scenario: "no-such"}); err == nil || !strings.Contains(err.Error(), "steady") {
+		t.Fatalf("unknown canned name should list the choices, got %v", err)
+	}
+	// Overrides are validated: a bad arrival mode fails loudly.
+	if _, err := loadScenario(options{scenario: "steady", arrival: "bursty", timeScale: 1, rpsScale: 1}); err == nil {
+		t.Fatal("bad -arrival accepted")
+	}
+}
+
+// testFederation stands up an in-process EDR federation — engine, one
+// DBNode per site, mediating proxy — optionally with a fault injector
+// on the proxy's node connections.
+func testFederation(t *testing.T, inj *faultnet.Injector) string {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := func(string, ...any) {}
+
+	addrs := map[string]string{}
+	for _, site := range []string{catalog.SitePhoto, catalog.SiteSpec, catalog.SiteMeta} {
+		n := wire.NewDBNode(site, db)
+		n.SetLogf(quiet)
+		naddr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		addrs[site] = naddr
+	}
+
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db, Granularity: federation.Tables, Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := wire.NewProxy(med, federation.Tables, addrs)
+	proxy.SetLogf(quiet)
+	if inj != nil {
+		proxy.SetDialer(func(_, a string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", a, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(c), nil
+		})
+	}
+	addr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return addr
+}
+
+// TestRunAgainstProxy drives the full command path — waitReady, a
+// scaled canned scenario, JSON report to -out — against a healthy
+// in-process federation.
+func TestRunAgainstProxy(t *testing.T) {
+	addr := testFederation(t, nil)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var sb strings.Builder
+	err := run(context.Background(), options{
+		addr: addr, scenario: "steady", timeScale: 10, rpsScale: 0.5,
+		maxInflight: 32, wait: 5 * time.Second, out: out, quiet: true,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep synth.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	// steady is 100 rps × 10s; scaled ÷10 in time and ×0.5 in rate it
+	// targets ~50 ops in 1s.
+	if rep.Scenario != "steady" || rep.TargetOps == 0 || rep.Completed == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Completed != rep.Dispatched || rep.Errors != 0 {
+		t.Fatalf("healthy federation dropped queries: %+v", rep)
+	}
+	if rep.Latency.P50US <= 0 || rep.Latency.P999US < rep.Latency.P50US {
+		t.Fatalf("latency = %+v", rep.Latency)
+	}
+	// The proxy scrape fills the decision-class byte flow; an EDR run
+	// with no policy moves every byte over the WAN (bypass).
+	if rep.Proxy == nil || rep.Proxy.Queries == 0 {
+		t.Fatalf("proxy delta missing: %+v", rep.Proxy)
+	}
+	if rep.Proxy.YieldBytes == 0 {
+		t.Fatalf("proxy saw no yield: %+v", rep.Proxy)
+	}
+	if !strings.Contains(sb.String(), "achieved") {
+		t.Fatalf("table output missing:\n%s", sb.String())
+	}
+}
+
+// TestChaosSynth is the CI chaos satellite: a short steady run with
+// fault injection on both the proxy's node legs and the client
+// connections must record nonzero errors or degraded results — and
+// still produce a clean report with the accounting identities intact
+// (exit 0; failures under chaos are data).
+func TestChaosSynth(t *testing.T) {
+	inj := faultnet.NewInjector(7)
+	inj.Set(faultnet.Faults{Latency: time.Millisecond, ResetProb: 0.05})
+	addr := testFederation(t, inj)
+
+	clientChaos := faultnet.NewInjector(11)
+	clientChaos.Set(faultnet.Faults{ResetProb: 0.02})
+
+	sc, err := synth.Canned("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Scale(5, 0.8) // 2s at 80 rps
+	rep, err := synth.Run(context.Background(), sc, synth.RunConfig{
+		Addr:        addr,
+		MaxInflight: 32,
+		Dialer: func(a string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", a, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return clientChaos.Conn(c), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("chaos run must not fail the process: %v", err)
+	}
+	if rep.Errors+rep.Degraded == 0 {
+		t.Fatalf("chaos run saw no faults: %+v", rep)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("chaos run completed nothing: %+v", rep)
+	}
+	if got := rep.Completed + rep.Errors + rep.Abandoned; got != rep.Dispatched {
+		t.Fatalf("identity broken under chaos: completed %d + errors %d + abandoned %d ≠ dispatched %d",
+			rep.Completed, rep.Errors, rep.Abandoned, rep.Dispatched)
+	}
+	t.Logf("chaos: %d completed, %d errors, %d degraded, %d shed",
+		rep.Completed, rep.Errors, rep.Degraded, rep.Shed)
+}

@@ -135,6 +135,26 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Snap captures the histogram as a HistogramSnap (no name/label).
+// Callers computing several quantiles should snap once and query the
+// snap, so every percentile reads the same consistent view.
+func (h *Histogram) Snap() HistogramSnap {
+	if h == nil {
+		return HistogramSnap{}
+	}
+	return h.snap("", "")
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile of the
+// live histogram (see HistogramSnap.Quantile — the one shared quantile
+// implementation). Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.snap("", "").Quantile(q)
+}
+
 // snap captures the histogram under no lock; counts are individually
 // atomic, so a snapshot taken during concurrent observation is a
 // consistent-enough view (sum/count may lead the buckets by the

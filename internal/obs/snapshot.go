@@ -89,6 +89,39 @@ func (h HistogramSnap) Quantile(q float64) int64 {
 	return h.Bounds[len(h.Bounds)-1]
 }
 
+// Quantiles returns the upper-bound estimates for several quantiles
+// at once (one pass per quantile over an already-consistent snap).
+func (h HistogramSnap) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// Sub returns the delta histogram cur − prev: the observations that
+// landed between the two snapshots. Bounds must match (the zero prev
+// subtracts nothing); mismatched layouts return cur unchanged, so a
+// daemon restart between scrapes degrades to an absolute window
+// rather than panicking.
+func (h HistogramSnap) Sub(prev HistogramSnap) HistogramSnap {
+	if len(prev.Counts) != len(h.Counts) || len(prev.Bounds) != len(h.Bounds) {
+		return h
+	}
+	d := HistogramSnap{
+		Name:   h.Name,
+		Label:  h.Label,
+		Bounds: h.Bounds,
+		Counts: make([]int64, len(h.Counts)),
+		Sum:    h.Sum - prev.Sum,
+		Count:  h.Count - prev.Count,
+	}
+	for i := range h.Counts {
+		d.Counts[i] = h.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
 // Snapshot captures every metric in the registry. A nil registry
 // yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {

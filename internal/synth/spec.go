@@ -1,0 +1,433 @@
+// Package synth is the workload synthesizer and open-loop load
+// harness: it turns a small scenario spec — named slots of target RPS
+// (constant, linear ramp, sine diurnal), per-tenant query mixes with
+// Zipf popularity skew and heavy-tailed yield-size shaping — into a
+// deterministic arrival schedule with pre-generated statements, and
+// drives that schedule open-loop against a live byproxyd.
+//
+// Open-loop means arrivals never wait on completions: the schedule is
+// fixed before the run starts, a dispatcher fires each operation at
+// its appointed time, and when the system under test falls behind the
+// generator does not slow down — it sheds (bounded in-flight cap,
+// explicit drop counter) and keeps firing. This is what makes
+// queueing collapse visible: a closed-loop driver's arrival rate sags
+// with the server, silently hiding coordinated omission, while an
+// open-loop driver charges the full queueing delay to the latency
+// histogram and accounts the overflow in the shed counter.
+//
+// The scenario shapes follow the ESnet in-network-cache access
+// studies (heavy-tailed object popularity and sizes, diurnal and
+// multi-tenant structure) and the slot-based RPS-ramp form of vhive's
+// trace synthesizer; statement bodies come from internal/workload's
+// SDSS profile generator, not a parallel implementation.
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"bypassyield/internal/workload"
+)
+
+// Slot shapes.
+const (
+	ShapeConstant = "constant"
+	ShapeRamp     = "ramp"
+	ShapeSine     = "sine"
+)
+
+// Arrival pacing modes.
+const (
+	ArrivalPoisson = "poisson" // exponential gaps (thinned to the rate curve)
+	ArrivalUniform = "uniform" // deterministic 1/r(t) pacing
+)
+
+// Duration is a time.Duration that marshals as a human string
+// ("1m30s") and unmarshals from either a string or nanoseconds.
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "10s"-style strings or raw nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("synth: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("synth: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Slot is one named window of target arrival rate. Slots run back to
+// back in order; a slot may pin an explicit Start offset, which must
+// not overlap the previous slot's window.
+type Slot struct {
+	Name  string `json:"name,omitempty"`
+	Shape string `json:"shape"` // constant | ramp | sine
+	// RPS is the constant level, the ramp's starting rate, or the
+	// sine's midline.
+	RPS float64 `json:"rps"`
+	// ToRPS is the ramp's final rate (ramp only).
+	ToRPS float64 `json:"to_rps,omitempty"`
+	// Amp is the sine's amplitude around the midline (sine only; must
+	// not exceed RPS, or the rate would go negative).
+	Amp float64 `json:"amp,omitempty"`
+	// Period is the sine's period (default: the slot duration, one
+	// full diurnal cycle per slot).
+	Period Duration `json:"period,omitempty"`
+	// Start optionally pins the slot's offset from scenario start.
+	// Zero means "immediately after the previous slot".
+	Start Duration `json:"start,omitempty"`
+	// Duration is the slot's length.
+	Duration Duration `json:"duration"`
+}
+
+// Rate evaluates the slot's target arrival rate t into the slot.
+func (s Slot) Rate(t time.Duration) float64 {
+	switch s.Shape {
+	case ShapeRamp:
+		if s.Duration <= 0 {
+			return s.RPS
+		}
+		frac := float64(t) / float64(s.Duration)
+		return s.RPS + (s.ToRPS-s.RPS)*frac
+	case ShapeSine:
+		period := s.Period
+		if period <= 0 {
+			period = s.Duration
+		}
+		return s.RPS + s.Amp*math.Sin(2*math.Pi*float64(t)/float64(period))
+	default:
+		return s.RPS
+	}
+}
+
+// maxRate bounds the slot's rate from above (for Poisson thinning).
+func (s Slot) maxRate() float64 {
+	switch s.Shape {
+	case ShapeRamp:
+		return math.Max(s.RPS, s.ToRPS)
+	case ShapeSine:
+		return s.RPS + s.Amp
+	default:
+		return s.RPS
+	}
+}
+
+// Tenant is one traffic source sharing the scenario: a workload mix,
+// a popularity skew, and an optional yield-size shape. Statement
+// streams are per-tenant and seeded independently, so tenants are
+// statistically distinct but jointly deterministic.
+type Tenant struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	// Mix overrides the workload class mix (nil: the profile default).
+	Mix *workload.Mix `json:"mix,omitempty"`
+	// ZipfS skews the tenant's object popularity (0: default 0.9).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Size shapes the tenant's yield sizes (nil: unshaped).
+	Size *workload.SizeShape `json:"size,omitempty"`
+	// Seed offsets the tenant's statement stream; 0 derives one from
+	// the scenario seed and the tenant's index.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Scenario is a complete load-shape specification.
+type Scenario struct {
+	Name string `json:"name"`
+	// Release selects the catalog schema ("edr" or "dr1", default edr).
+	Release string `json:"release,omitempty"`
+	// Seed drives the arrival schedule and, combined with tenant
+	// indices, every statement stream. Same seed ⇒ same run.
+	Seed int64 `json:"seed"`
+	// Arrival is the pacing mode (poisson or uniform, default poisson).
+	Arrival string   `json:"arrival,omitempty"`
+	Slots   []Slot   `json:"slots"`
+	Tenants []Tenant `json:"tenants,omitempty"`
+}
+
+// fill applies defaults: a single default tenant, poisson arrivals,
+// edr release, slot names.
+func (sc *Scenario) fill() {
+	if sc.Release == "" {
+		sc.Release = "edr"
+	}
+	if sc.Arrival == "" {
+		sc.Arrival = ArrivalPoisson
+	}
+	if len(sc.Tenants) == 0 {
+		sc.Tenants = []Tenant{{Name: "default", Weight: 1}}
+	}
+	for i := range sc.Slots {
+		if sc.Slots[i].Name == "" {
+			sc.Slots[i].Name = fmt.Sprintf("slot%d", i)
+		}
+	}
+}
+
+// Windows resolves each slot's absolute [start, end) window, honoring
+// explicit Start offsets and packing unpinned slots back to back.
+func (sc *Scenario) Windows() ([]time.Duration, []time.Duration) {
+	starts := make([]time.Duration, len(sc.Slots))
+	ends := make([]time.Duration, len(sc.Slots))
+	var cursor time.Duration
+	for i, s := range sc.Slots {
+		start := cursor
+		if s.Start > 0 {
+			start = s.Start.D()
+		}
+		starts[i] = start
+		ends[i] = start + s.Duration.D()
+		cursor = ends[i]
+	}
+	return starts, ends
+}
+
+// TotalDuration is the end of the last slot window.
+func (sc *Scenario) TotalDuration() time.Duration {
+	_, ends := sc.Windows()
+	var max time.Duration
+	for _, e := range ends {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// ExpectedOps integrates the rate curve: the number of arrivals the
+// schedule targets in expectation.
+func (sc *Scenario) ExpectedOps() float64 {
+	var total float64
+	for _, s := range sc.Slots {
+		switch s.Shape {
+		case ShapeRamp:
+			total += (s.RPS + s.ToRPS) / 2 * s.Duration.D().Seconds()
+		default:
+			// The sine's integral over whole periods is the midline;
+			// partial periods deviate a little, which is fine for an
+			// expectation.
+			total += s.RPS * s.Duration.D().Seconds()
+		}
+	}
+	return total
+}
+
+// Validate rejects malformed scenarios: no slots, negative rates,
+// zero durations, overlapping windows, unknown shapes or arrival
+// modes, bad tenants.
+func (sc *Scenario) Validate() error {
+	if len(sc.Slots) == 0 {
+		return fmt.Errorf("synth: scenario %q has no slots", sc.Name)
+	}
+	switch sc.Arrival {
+	case "", ArrivalPoisson, ArrivalUniform:
+	default:
+		return fmt.Errorf("synth: unknown arrival mode %q (have poisson, uniform)", sc.Arrival)
+	}
+	switch sc.Release {
+	case "", "edr", "dr1":
+	default:
+		return fmt.Errorf("synth: unknown release %q (have edr, dr1)", sc.Release)
+	}
+	for i, s := range sc.Slots {
+		tag := s.Name
+		if tag == "" {
+			tag = fmt.Sprintf("slot %d", i)
+		}
+		switch s.Shape {
+		case ShapeConstant, ShapeRamp, ShapeSine:
+		default:
+			return fmt.Errorf("synth: %s: unknown shape %q (have constant, ramp, sine)", tag, s.Shape)
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("synth: %s: duration %v must be positive", tag, s.Duration.D())
+		}
+		if s.RPS < 0 {
+			return fmt.Errorf("synth: %s: rps %v must be ≥ 0", tag, s.RPS)
+		}
+		if s.Shape == ShapeRamp && s.ToRPS < 0 {
+			return fmt.Errorf("synth: %s: to_rps %v must be ≥ 0", tag, s.ToRPS)
+		}
+		if s.Shape == ShapeSine {
+			if s.Amp < 0 {
+				return fmt.Errorf("synth: %s: amp %v must be ≥ 0", tag, s.Amp)
+			}
+			if s.Amp > s.RPS {
+				return fmt.Errorf("synth: %s: amp %v exceeds midline %v (rate would go negative)", tag, s.Amp, s.RPS)
+			}
+			if s.Period < 0 {
+				return fmt.Errorf("synth: %s: period %v must be ≥ 0", tag, s.Period.D())
+			}
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("synth: %s: start %v must be ≥ 0", tag, s.Start.D())
+		}
+	}
+	starts, ends := sc.Windows()
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < ends[i-1] {
+			return fmt.Errorf("synth: slot %q window [%v, %v) overlaps %q ending at %v",
+				sc.Slots[i].Name, starts[i], ends[i], sc.Slots[i-1].Name, ends[i-1])
+		}
+	}
+	if len(sc.Tenants) > 0 {
+		var totalW float64
+		for i, t := range sc.Tenants {
+			if t.Weight < 0 {
+				return fmt.Errorf("synth: tenant %q: weight %v must be ≥ 0", t.Name, t.Weight)
+			}
+			totalW += t.Weight
+			if t.ZipfS < 0 {
+				return fmt.Errorf("synth: tenant %q: zipf_s %v must be ≥ 0", t.Name, t.ZipfS)
+			}
+			if err := t.Size.Validate(); err != nil {
+				return fmt.Errorf("synth: tenant %q: %w", t.Name, err)
+			}
+			_ = i
+		}
+		if totalW <= 0 {
+			return fmt.Errorf("synth: tenant weights sum to %v, must be positive", totalW)
+		}
+	}
+	return nil
+}
+
+// Scale compresses or stretches the scenario: timeScale divides every
+// duration (2 = twice as fast) and rpsScale multiplies every rate.
+// Total work scales by rpsScale/timeScale.
+func (sc *Scenario) Scale(timeScale, rpsScale float64) {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	if rpsScale <= 0 {
+		rpsScale = 1
+	}
+	for i := range sc.Slots {
+		s := &sc.Slots[i]
+		s.Duration = Duration(float64(s.Duration) / timeScale)
+		s.Period = Duration(float64(s.Period) / timeScale)
+		s.Start = Duration(float64(s.Start) / timeScale)
+		s.RPS *= rpsScale
+		s.ToRPS *= rpsScale
+		s.Amp *= rpsScale
+	}
+}
+
+// ParseScenario decodes a JSON scenario spec, applies defaults, and
+// validates it. Unknown fields are rejected so a typoed knob fails
+// loudly instead of silently shaping nothing.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("synth: bad scenario spec: %w", err)
+	}
+	sc.fill()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// ParseSlots parses the compact flag grammar for slot lists —
+// comma-separated slot terms:
+//
+//	constant:<rps>x<dur>            e.g. constant:100x30s
+//	ramp:<from>..<to>x<dur>         e.g. ramp:50..200x1m
+//	sine:<mid>~<amp>x<dur>[/<per>]  e.g. sine:80~60x2m/30s
+//
+// The grammar covers single-tenant shaping from the command line; the
+// JSON spec is the full model.
+func ParseSlots(spec string) ([]Slot, error) {
+	var slots []Slot
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		shape, rest, ok := strings.Cut(term, ":")
+		if !ok {
+			return nil, fmt.Errorf("synth: slot %q: want shape:params", term)
+		}
+		var slot Slot
+		slot.Shape = shape
+		// Optional sine period suffix.
+		if shape == ShapeSine {
+			if body, per, found := strings.Cut(rest, "/"); found {
+				d, err := time.ParseDuration(per)
+				if err != nil {
+					return nil, fmt.Errorf("synth: slot %q: bad period: %w", term, err)
+				}
+				slot.Period = Duration(d)
+				rest = body
+			}
+		}
+		rates, durStr, ok := strings.Cut(rest, "x")
+		if !ok {
+			return nil, fmt.Errorf("synth: slot %q: want <rates>x<duration>", term)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("synth: slot %q: bad duration: %w", term, err)
+		}
+		slot.Duration = Duration(dur)
+		switch shape {
+		case ShapeConstant:
+			v, err := strconv.ParseFloat(rates, 64)
+			if err != nil {
+				return nil, fmt.Errorf("synth: slot %q: bad rps: %w", term, err)
+			}
+			slot.RPS = v
+		case ShapeRamp:
+			from, to, ok := strings.Cut(rates, "..")
+			if !ok {
+				return nil, fmt.Errorf("synth: slot %q: ramp wants <from>..<to>", term)
+			}
+			if slot.RPS, err = strconv.ParseFloat(from, 64); err != nil {
+				return nil, fmt.Errorf("synth: slot %q: bad from-rps: %w", term, err)
+			}
+			if slot.ToRPS, err = strconv.ParseFloat(to, 64); err != nil {
+				return nil, fmt.Errorf("synth: slot %q: bad to-rps: %w", term, err)
+			}
+		case ShapeSine:
+			mid, amp, ok := strings.Cut(rates, "~")
+			if !ok {
+				return nil, fmt.Errorf("synth: slot %q: sine wants <mid>~<amp>", term)
+			}
+			if slot.RPS, err = strconv.ParseFloat(mid, 64); err != nil {
+				return nil, fmt.Errorf("synth: slot %q: bad midline: %w", term, err)
+			}
+			if slot.Amp, err = strconv.ParseFloat(amp, 64); err != nil {
+				return nil, fmt.Errorf("synth: slot %q: bad amplitude: %w", term, err)
+			}
+		default:
+			return nil, fmt.Errorf("synth: slot %q: unknown shape %q", term, shape)
+		}
+		slots = append(slots, slot)
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("synth: empty slot spec %q", spec)
+	}
+	return slots, nil
+}

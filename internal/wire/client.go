@@ -35,6 +35,13 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
+// NewClient wraps an established connection (a custom dialer, a
+// fault-injected conn in tests) in a Client. The Client owns the conn
+// and closes it.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
+}
+
 // DialContext connects to a proxy at addr under ctx's deadline and
 // cancellation.
 func DialContext(ctx context.Context, addr string) (*Client, error) {

@@ -25,6 +25,9 @@ func Generate(p Profile, g federation.Granularity) ([]trace.Record, error) {
 	if err := p.Schema.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.SizeShape.Validate(); err != nil {
+		return nil, err
+	}
 	if p.Queries <= 0 {
 		return nil, fmt.Errorf("workload: profile has no queries")
 	}
@@ -206,18 +209,23 @@ func contains(ss []string, s string) bool {
 	return false
 }
 
-// zipfPick selects an index in [0, n) with probability ∝ 1/(i+1)^0.9.
+// zipfPick selects an index in [0, n) with probability ∝ 1/(i+1)^s,
+// where s is the profile's ZipfS (default 0.9).
 func (g *gen) zipfPick(n int) int {
 	if n <= 1 {
 		return 0
 	}
+	s := g.p.ZipfS
+	if s == 0 {
+		s = 0.9
+	}
 	var total float64
 	for i := 0; i < n; i++ {
-		total += 1 / math.Pow(float64(i+1), 0.9)
+		total += 1 / math.Pow(float64(i+1), s)
 	}
 	r := g.rng.Float64() * total
 	for i := 0; i < n; i++ {
-		r -= 1 / math.Pow(float64(i+1), 0.9)
+		r -= 1 / math.Pow(float64(i+1), s)
 		if r <= 0 {
 			return i
 		}
@@ -351,8 +359,13 @@ func (g *gen) predColumn(t *catalog.Table) *catalog.Column {
 }
 
 // rangePred builds `col between lo and hi` with selectivity
-// frac·scale of the column span (clamped to the span).
+// frac·scale of the column span (clamped to the span). A configured
+// SizeShape multiplies the width by a heavy-tailed draw; the nil
+// default consumes no randomness, so paper profiles are unchanged.
 func (g *gen) rangePred(c *catalog.Column, frac float64) sqlparse.Condition {
+	if g.p.SizeShape != nil {
+		frac *= g.p.SizeShape.sample(g.rng)
+	}
 	return g.rangePredRaw(c, frac*g.scale)
 }
 

@@ -24,6 +24,10 @@
 package workload
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
+
 	"bypassyield/internal/catalog"
 )
 
@@ -52,12 +56,12 @@ const (
 // Mix sets the class proportions of a profile; they need not sum to 1
 // (they are normalized).
 type Mix struct {
-	Range     float64
-	Spatial   float64
-	Identity  float64
-	Join      float64
-	Aggregate float64
-	Bulk      float64
+	Range     float64 `json:"range,omitempty"`
+	Spatial   float64 `json:"spatial,omitempty"`
+	Identity  float64 `json:"identity,omitempty"`
+	Join      float64 `json:"join,omitempty"`
+	Aggregate float64 `json:"aggregate,omitempty"`
+	Bulk      float64 `json:"bulk,omitempty"`
 }
 
 func (m Mix) normalized() Mix {
@@ -107,6 +111,88 @@ type Profile struct {
 	// queries hit the campaign's cold table with substantial yields.
 	CampaignEvery int
 	CampaignLen   int
+	// ZipfS is the exponent of the Zipf popularity ranking used when
+	// drawing from the hot column pools (default 0.9, the paper-era
+	// mix). Larger values skew references harder onto the top-ranked
+	// objects — the heavy-tailed popularity the ESnet in-network-cache
+	// access studies report.
+	ZipfS float64
+	// SizeShape, when set, multiplies every calibrated range-predicate
+	// width by a heavy-tailed draw, shaping the yield-size distribution
+	// (lognormal or Pareto) beyond what the class mix alone produces.
+	// Nil leaves the generator byte-for-byte identical to the paper
+	// profiles: no extra randomness is consumed.
+	SizeShape *SizeShape
+}
+
+// SizeShape is a heavy-tailed multiplier distribution for predicate
+// widths: "lognormal" (parameters Mu, Sigma of the underlying normal)
+// or "pareto" (shape Alpha ≥ tail exponent, scale Min > 0). Draws are
+// clamped to [0, MaxFactor] (default 8) so a single tail sample cannot
+// blow a query up to the full table.
+type SizeShape struct {
+	Dist      string  `json:"dist"`
+	Mu        float64 `json:"mu,omitempty"`
+	Sigma     float64 `json:"sigma,omitempty"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	Min       float64 `json:"min,omitempty"`
+	MaxFactor float64 `json:"max_factor,omitempty"`
+}
+
+// Validate rejects unusable shapes.
+func (s *SizeShape) Validate() error {
+	if s == nil {
+		return nil
+	}
+	switch s.Dist {
+	case "lognormal":
+		if s.Sigma < 0 {
+			return fmt.Errorf("workload: lognormal sigma %v < 0", s.Sigma)
+		}
+	case "pareto":
+		if s.Alpha <= 0 {
+			return fmt.Errorf("workload: pareto alpha %v ≤ 0", s.Alpha)
+		}
+		if s.Min < 0 {
+			return fmt.Errorf("workload: pareto min %v < 0", s.Min)
+		}
+	default:
+		return fmt.Errorf("workload: unknown size distribution %q (have lognormal, pareto)", s.Dist)
+	}
+	return nil
+}
+
+// sample draws one width multiplier.
+func (s *SizeShape) sample(rng *rand.Rand) float64 {
+	if s == nil {
+		return 1
+	}
+	maxf := s.MaxFactor
+	if maxf <= 0 {
+		maxf = 8
+	}
+	var v float64
+	switch s.Dist {
+	case "lognormal":
+		v = math.Exp(s.Mu + s.Sigma*rng.NormFloat64())
+	case "pareto":
+		min := s.Min
+		if min == 0 {
+			min = 0.25
+		}
+		// Inverse-CDF draw: min / U^{1/alpha}.
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		v = min / math.Pow(u, 1/s.Alpha)
+	default:
+		v = 1
+	}
+	if v > maxf {
+		v = maxf
+	}
+	return v
 }
 
 func (p *Profile) fill() {

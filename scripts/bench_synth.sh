@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench_synth.sh — the bench-synth harness: stand up a real two-node
+# federation (bydbd for the photo and spec sites; the meta site runs
+# in the proxy's local-simulation mode), run the canned steady
+# scenario through bysynth over the wire protocol, and leave the JSON
+# report in BENCH_synth.json.
+#
+# Everything binds to fixed loopback ports in the 171xx range so a
+# crashed previous run can't leave us fighting over 7100.
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_synth.json}
+BIN=$(mktemp -d)
+PHOTO_ADDR=127.0.0.1:17101
+SPEC_ADDR=127.0.0.1:17102
+PROXY_ADDR=127.0.0.1:17100
+
+cleanup() {
+    kill "$PROXY_PID" "$PHOTO_PID" "$SPEC_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+
+$GO build -o "$BIN" ./cmd/bydbd ./cmd/byproxyd ./cmd/bysynth
+
+# -sample 100000 keeps data synthesis fast; yields are logical either
+# way, so the byte accounting is unaffected.
+"$BIN"/bydbd -site photo.sdss.org -addr $PHOTO_ADDR -sample 100000 -seed 1 &
+PHOTO_PID=$!
+"$BIN"/bydbd -site spec.sdss.org -addr $SPEC_ADDR -sample 100000 -seed 1 &
+SPEC_PID=$!
+"$BIN"/byproxyd -addr $PROXY_ADDR -sample 100000 -seed 1 \
+    -nodes "photo.sdss.org=$PHOTO_ADDR,spec.sdss.org=$SPEC_ADDR" &
+PROXY_PID=$!
+trap cleanup EXIT INT TERM
+
+# -wait absorbs daemon startup (data synthesis takes a moment); the
+# steady scenario is 100 rps for 10s against the EDR release.
+"$BIN"/bysynth -addr $PROXY_ADDR -scenario steady -wait 30s -out "$OUT"
+
+echo
+cat "$OUT"
