@@ -19,12 +19,14 @@ race:
 # The fault-tolerance suite under the race detector: deterministic
 # fault injection (internal/faultnet), the per-site circuit breaker,
 # the mediator's degraded-mode accounting, and the 3-site black-hole
-# end-to-end cycle.
+# end-to-end cycle. The synth chaos run streams the flight recorder's
+# fault exemplars to chaos_exemplars.jsonl (archived by CI).
 chaos:
 	$(GO) test -race -v ./internal/faultnet/
 	$(GO) test -race -v -run 'TestChaos|TestBreaker|TestSiteUnavailable|TestDegraded|TestHealthDetached' \
 		./internal/wire/ ./internal/federation/
-	$(GO) test -race -v -run 'TestChaosSynth' ./cmd/bysynth/
+	CHAOS_EXEMPLARS_OUT=$(CURDIR)/chaos_exemplars.jsonl \
+		$(GO) test -race -v -run 'TestChaosSynth' ./cmd/bysynth/
 
 # A bounded fuzz of the frame reader: corrupt headers and truncated
 # bodies must never panic or over-allocate.
@@ -74,6 +76,8 @@ bench-proxy:
 # the canned steady scenario (100 rps x 10s) over the wire protocol.
 # The run report — achieved vs target RPS, p50/p99/p999 latency, SLO
 # attainment, shed/error/degraded counts, proxy byte flow by decision
-# class — lands in BENCH_synth.json for CI to archive.
+# class, tail-cause attribution — lands in BENCH_synth.json for CI to
+# archive. The run is a perf gate: attainment below SLO_FAIL (default
+# 0.90) of the 500ms objective exits nonzero and fails the build.
 bench-synth:
 	sh scripts/bench_synth.sh

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bydbd -release edr -site photo.sdss.org -addr :7101 \
-//	  -http :7181 -trace-out node-spans.jsonl
+//	  -http :7181 -trace-out node-spans.jsonl -exemplar-out node-tails.jsonl
 package main
 
 import (
@@ -14,11 +14,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/faultnet"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/wire"
 )
 
@@ -33,6 +35,11 @@ type options struct {
 	httpAddr  string // telemetry plane listen address ("" disables)
 	chaos     string // faultnet plan applied to inbound conns ("" disables)
 	chaosSeed int64
+
+	flightThreshold time.Duration // flight-recorder slow-capture threshold
+	flightCap       int           // flight-recorder exemplar ring capacity
+	flightSample    int           // publish every Nth healthy sub-query (0 disables)
+	exemplarOut     string        // JSONL exemplar log path ("" disables)
 }
 
 func main() {
@@ -46,6 +53,11 @@ func main() {
 	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /healthz, /debug/pprof on this address")
 	flag.StringVar(&o.chaos, "chaos", "", "fault-injection plan for inbound connections, e.g. 'latency=50ms,reset=0.1' or 'blackhole after=5s for=10s' (see internal/faultnet)")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the chaos plan's randomness")
+	fdef := flightrec.DefaultConfig()
+	flag.DurationVar(&o.flightThreshold, "flight-threshold", fdef.Threshold, "capture a full exemplar for every sub-query at least this slow")
+	flag.IntVar(&o.flightCap, "flight-cap", fdef.Capacity, "flight-recorder exemplar ring capacity")
+	flag.IntVar(&o.flightSample, "flight-sample", fdef.SampleEvery, "also capture every Nth healthy sub-query as a 'normal' exemplar (0 disables)")
+	flag.StringVar(&o.exemplarOut, "exemplar-out", "", "append every published exemplar as JSONL to this file")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -73,11 +85,12 @@ func run(o options) error {
 
 // daemon is a started node with its telemetry plane and span sink.
 type daemon struct {
-	node  *wire.DBNode
-	http  *obs.HTTPServer // nil when -http is unset
-	sink  *obs.JSONL      // nil when -trace-out is unset
-	plan  *faultnet.Plan  // nil when -chaos is unset
-	bound string
+	node      *wire.DBNode
+	http      *obs.HTTPServer  // nil when -http is unset
+	sink      *obs.JSONL       // nil when -trace-out is unset
+	exemplars *flightrec.JSONL // nil when -exemplar-out is unset
+	plan      *faultnet.Plan   // nil when -chaos is unset
+	bound     string
 }
 
 // Close shuts the listener, the HTTP plane, and — last, so in-flight
@@ -94,6 +107,9 @@ func (d *daemon) Close() error {
 	}
 	if serr := d.sink.Close(); err == nil {
 		err = serr
+	}
+	if eerr := d.exemplars.Close(); err == nil {
+		err = eerr
 	}
 	return err
 }
@@ -117,7 +133,18 @@ func start(o options) (*daemon, error) {
 		return nil, err
 	}
 	node := wire.NewDBNode(o.site, db)
+	node.SetFlightConfig(flightrec.Config{
+		Capacity: o.flightCap, Threshold: o.flightThreshold, SampleEvery: o.flightSample,
+	})
 	d := &daemon{node: node}
+	if o.exemplarOut != "" {
+		f, err := os.OpenFile(o.exemplarOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		d.exemplars = flightrec.NewJSONL(f)
+		node.Flight().SetSink(d.exemplars)
+	}
 	if o.chaos != "" {
 		plan, err := faultnet.ParsePlan(o.chaos, o.chaosSeed)
 		if err != nil {
@@ -131,6 +158,7 @@ func start(o options) (*daemon, error) {
 	if o.traceOut != "" {
 		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
+			d.exemplars.Close()
 			return nil, err
 		}
 		d.sink = obs.NewJSONL(f)
@@ -140,6 +168,7 @@ func start(o options) (*daemon, error) {
 		srv, err := obs.StartHTTP(o.httpAddr, obs.NewHTTPHandler(node.Obs().Snapshot))
 		if err != nil {
 			d.sink.Close()
+			d.exemplars.Close()
 			return nil, err
 		}
 		d.http = srv
@@ -150,6 +179,7 @@ func start(o options) (*daemon, error) {
 			d.http.Close()
 		}
 		d.sink.Close()
+		d.exemplars.Close()
 		return nil, err
 	}
 	d.bound = bound

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
+	"bypassyield/internal/wire"
+)
+
+// nodeView is everything one federation member answered during a
+// scrape. Unreachable or partially-answering daemons keep what they
+// did return; Err records the first failure.
+type nodeView struct {
+	Addr      string                   `json:"addr"`
+	Source    string                   `json:"source,omitempty"`
+	Snapshot  obs.Snapshot             `json:"snapshot,omitempty"`
+	Exemplars *wire.ExemplarsResultMsg `json:"exemplars,omitempty"`
+	Stats     *wire.StatsResultMsg     `json:"stats,omitempty"`
+	Err       string                   `json:"err,omitempty"`
+}
+
+// scrapeNode collects one daemon's metrics, exemplars, and — for
+// proxies — flow-accounting stats. Database nodes reject MsgStats;
+// that rejection is how the scrape tells the two roles apart, so a
+// stats failure after a successful metrics scrape is not an error.
+func scrapeNode(addr string, q wire.ExemplarsMsg) nodeView {
+	v := nodeView{Addr: addr}
+	c, err := wire.DialTimeout(addr, dialTimeout)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	defer c.Close()
+	m, err := c.Metrics()
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	v.Source = m.Source
+	v.Snapshot = m.Snapshot
+	if ex, err := c.Exemplars(q); err == nil {
+		v.Exemplars = ex
+	} else {
+		v.Err = err.Error()
+		return v
+	}
+	if st, err := c.Stats(); err == nil {
+		v.Stats = st
+	}
+	return v
+}
+
+// runFederation scrapes every listed daemon (proxies and database
+// nodes), verifies the paper's delivered-bytes invariant across the
+// federation, aggregates tail-cause attribution, and merges exemplars
+// that share a trace id into cross-node views of the same query.
+func runFederation(w io.Writer, addrs []string, q wire.ExemplarsMsg, top int, asJSON bool) error {
+	views := make([]nodeView, len(addrs))
+	for i, addr := range addrs {
+		views[i] = scrapeNode(addr, q)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(views)
+	}
+	renderFederation(w, views, top)
+	return nil
+}
+
+func renderFederation(w io.Writer, views []nodeView, top int) {
+	fmt.Fprintf(w, "federation scrape: %d daemons\n", len(views))
+	reachable := 0
+	for _, v := range views {
+		if v.Err != "" {
+			fmt.Fprintf(w, "  %-24s UNREACHABLE: %s\n", v.Addr, v.Err)
+			continue
+		}
+		reachable++
+		role := v.Source
+		extra := ""
+		if v.Exemplars != nil {
+			extra = fmt.Sprintf("  %d exemplars (%d published)",
+				len(v.Exemplars.Exemplars), v.Exemplars.Published)
+		}
+		fmt.Fprintf(w, "  %-24s %-16s %s\n", v.Addr, role, extra)
+	}
+	if reachable == 0 {
+		fmt.Fprintln(w, "no daemon reachable")
+		return
+	}
+
+	renderInvariant(w, views)
+	renderFederationCauses(w, views)
+	renderMergedTraces(w, views, top)
+}
+
+// renderInvariant checks the paper's accounting identity on every
+// proxy and across the federation: the mediator's raw yield counter
+// (core.yield_bytes), the flow ledger's YieldBytes, and delivered
+// bytes D_A = D_S + D_C must agree — bytes the policy accounted for
+// are exactly the bytes clients received, with nothing double-counted
+// and nothing lost, on every node and in the federation-wide sum.
+func renderInvariant(w io.Writer, views []nodeView) {
+	var sumCounter, sumLedger, sumDelivered int64
+	proxies := 0
+	ok := true
+	fmt.Fprintln(w, "\nΣ yields = D_A invariant (per proxy):")
+	for _, v := range views {
+		if v.Stats == nil {
+			continue
+		}
+		proxies++
+		counter := v.Snapshot.CounterValue("core.yield_bytes", "")
+		ledgerYield := v.Stats.Acct.YieldBytes
+		delivered := v.Stats.Acct.DeliveredBytes()
+		sumCounter += counter
+		sumLedger += ledgerYield
+		sumDelivered += delivered
+		verdict := "ok"
+		if counter != ledgerYield || ledgerYield != delivered {
+			verdict = "MISMATCH"
+			ok = false
+		}
+		fmt.Fprintf(w, "  %-24s yield counter %12d  ledger %12d  D_A %12d  %s\n",
+			v.Addr, counter, ledgerYield, delivered, verdict)
+	}
+	if proxies == 0 {
+		fmt.Fprintln(w, "  no proxy in the scrape set (stats unavailable)")
+		return
+	}
+	status := "SATISFIED"
+	if !ok || sumCounter != sumLedger || sumLedger != sumDelivered {
+		status = "VIOLATED"
+	}
+	fmt.Fprintf(w, "  federation Σ yields %d = D_A %d: %s\n", sumLedger, sumDelivered, status)
+}
+
+// renderFederationCauses aggregates the tail-cause counters of every
+// reachable daemon into one ranked table.
+func renderFederationCauses(w io.Writer, views []nodeView) {
+	agg := map[string]*tailCauseRow{}
+	for _, v := range views {
+		for _, r := range tailCauses(v.Snapshot) {
+			a := agg[r.cause]
+			if a == nil {
+				a = &tailCauseRow{cause: r.cause}
+				agg[r.cause] = a
+			}
+			a.dominant += r.dominant
+			a.totalUS += r.totalUS
+		}
+	}
+	if len(agg) == 0 {
+		return
+	}
+	rows := make([]tailCauseRow, 0, len(agg))
+	var totalUS int64
+	for _, r := range agg {
+		rows = append(rows, *r)
+		totalUS += r.totalUS
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].totalUS != rows[j].totalUS {
+			return rows[i].totalUS > rows[j].totalUS
+		}
+		return rows[i].cause < rows[j].cause
+	})
+	fmt.Fprintln(w, "\nfederation tail attribution (all daemons, ranked by attributed time):")
+	fmt.Fprintln(w, "  cause                        dominant     total ms   share")
+	for _, r := range rows {
+		share := 0.0
+		if totalUS > 0 {
+			share = 100 * float64(r.totalUS) / float64(totalUS)
+		}
+		fmt.Fprintf(w, "  %-26s %10d %12.3f  %5.1f%%\n",
+			r.cause, r.dominant, float64(r.totalUS)/1e3, share)
+	}
+}
+
+// tracedExemplar pairs an exemplar with the daemon that captured it.
+type tracedExemplar struct {
+	source string
+	ex     flightrec.Exemplar
+}
+
+// renderMergedTraces joins exemplars across daemons by trace id: a
+// slow proxy query and the node-side execution it triggered share the
+// propagated trace id, so the merged view shows both halves of the
+// same tail event.
+func renderMergedTraces(w io.Writer, views []nodeView, top int) {
+	byTrace := map[string][]tracedExemplar{}
+	for _, v := range views {
+		if v.Exemplars == nil {
+			continue
+		}
+		for _, ex := range v.Exemplars.Exemplars {
+			if ex.Trace == "" {
+				continue
+			}
+			byTrace[ex.Trace] = append(byTrace[ex.Trace], tracedExemplar{source: v.Exemplars.Source, ex: ex})
+		}
+	}
+	// Rank merged traces by the proxy-side (max) duration; cross-node
+	// traces (seen by ≥ 2 daemons) sort before single-view ones.
+	type merged struct {
+		trace string
+		views []tracedExemplar
+		durUS int64
+	}
+	ms := make([]merged, 0, len(byTrace))
+	for t, vs := range byTrace {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].ex.DurUS > vs[j].ex.DurUS })
+		ms = append(ms, merged{trace: t, views: vs, durUS: vs[0].ex.DurUS})
+	}
+	if len(ms) == 0 {
+		return
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if (len(ms[i].views) > 1) != (len(ms[j].views) > 1) {
+			return len(ms[i].views) > 1
+		}
+		if ms[i].durUS != ms[j].durUS {
+			return ms[i].durUS > ms[j].durUS
+		}
+		return ms[i].trace < ms[j].trace
+	})
+	if top > len(ms) {
+		top = len(ms)
+	}
+	fmt.Fprintf(w, "\nmerged traces (%d total, showing %d):\n", len(ms), top)
+	for _, m := range ms[:top] {
+		fmt.Fprintf(w, "  trace %s  (%d daemon views)\n", m.trace, len(m.views))
+		for _, tv := range m.views {
+			e := tv.ex
+			fmt.Fprintf(w, "    %-16s %-8s %8.3fms  cause %-22s %8.3fms\n",
+				tv.source, e.Outcome, float64(e.DurUS)/1e3, e.Cause, float64(e.CauseUS)/1e3)
+			if e.SQL != "" {
+				fmt.Fprintf(w, "      sql: %s\n", oneLine(e.SQL, 84))
+			}
+		}
+	}
+}

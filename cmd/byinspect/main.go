@@ -5,7 +5,11 @@
 // merges daemon span logs into per-query trace waterfalls; with
 // -watch it re-scrapes live metrics and shows what moved; with
 // -decisions it shows the proxy's decision ledger, counterfactual
-// savings versus the shadow baselines, and top regret contributors.
+// savings versus the shadow baselines, and top regret contributors;
+// with -tail it scrapes the flight recorder and ranks tail-latency
+// causes; with -federation it scrapes every listed daemon, verifies
+// the Σ yields = D_A invariant across proxies, and merges exemplars
+// by trace id into cross-node views.
 //
 // Usage:
 //
@@ -15,6 +19,8 @@
 //	byinspect -addr localhost:7100 -json    # raw snapshot JSON
 //	byinspect -addr localhost:7100 -watch 2s
 //	byinspect -addr localhost:7100 -decisions -action load -top 5
+//	byinspect -addr localhost:7100 -tail -outcome slow
+//	byinspect -federation localhost:7100,localhost:7201,localhost:7202
 //	byinspect -spans proxy.jsonl,photo.jsonl,spec.jsonl
 package main
 
@@ -46,15 +52,29 @@ func main() {
 		object    = flag.String("object", "", "with -decisions, filter records by exact object id")
 		action    = flag.String("action", "", "with -decisions, filter records by action (hit, bypass, load)")
 		traceID   = flag.String("trace-id", "", "with -decisions, filter records by 16-hex-digit trace id")
-		limit     = flag.Int("limit", 0, "with -decisions, cap returned records (0 = server default)")
+		limit     = flag.Int("limit", 0, "with -decisions or -tail, cap returned records (0 = server default)")
+
+		tail       = flag.Bool("tail", false, "with -addr, show the flight recorder's tail-latency attribution and slowest exemplars")
+		outcome    = flag.String("outcome", "", "with -tail or -federation, filter exemplars by outcome (slow, error, degraded, normal)")
+		minMS      = flag.Int64("min-ms", 0, "with -tail or -federation, keep only exemplars at least this slow")
+		federation = flag.String("federation", "", "comma-separated daemon addresses to scrape as one federation")
 	)
 	flag.Parse()
 	dialTimeout = *dialTO
 
+	exq := wire.ExemplarsMsg{Outcome: *outcome, MinUS: *minMS * 1000, Limit: *limit}
 	var err error
 	switch {
 	case *spans != "":
 		err = runSpans(os.Stdout, strings.Split(*spans, ","))
+	case *federation != "":
+		err = runFederation(os.Stdout, strings.Split(*federation, ","), exq, *top, *asJSON)
+	case *tail:
+		if *addr == "" {
+			err = fmt.Errorf("-tail requires -addr")
+			break
+		}
+		err = runTail(os.Stdout, *addr, exq, *top, *asJSON)
 	case *decisions:
 		if *addr == "" {
 			err = fmt.Errorf("-decisions requires -addr")

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
+	"bypassyield/internal/wire"
+)
+
+// runTail scrapes a daemon's flight recorder and tail-cause counters
+// and renders a "why is p99 slow" report: the ranked critical-path
+// attribution table (which phase or WAN leg dominated the exceedances)
+// followed by the slowest captured exemplars with their per-leg
+// breakdowns.
+func runTail(w io.Writer, addr string, q wire.ExemplarsMsg, top int, asJSON bool) error {
+	c, err := wire.DialTimeout(addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	m, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	res, err := c.Exemplars(q)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	renderTail(w, res, m.Snapshot, top)
+	return nil
+}
+
+// tailCauseRow is one row of the ranked attribution table.
+type tailCauseRow struct {
+	cause    string
+	dominant int64 // exceedances where this cause was the largest slice
+	totalUS  int64 // attributed microseconds across all exceedances
+}
+
+// tailCauses extracts the obs.tail_cause / obs.tail_cause_us counter
+// families from a snapshot, ranked by attributed time.
+func tailCauses(s obs.Snapshot) []tailCauseRow {
+	rows := map[string]*tailCauseRow{}
+	get := func(cause string) *tailCauseRow {
+		r := rows[cause]
+		if r == nil {
+			r = &tailCauseRow{cause: cause}
+			rows[cause] = r
+		}
+		return r
+	}
+	for _, c := range s.Counters {
+		switch c.Name {
+		case "obs.tail_cause":
+			get(c.Label).dominant += c.Value
+		case "obs.tail_cause_us":
+			get(c.Label).totalUS += c.Value
+		}
+	}
+	out := make([]tailCauseRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].totalUS != out[j].totalUS {
+			return out[i].totalUS > out[j].totalUS
+		}
+		return out[i].cause < out[j].cause
+	})
+	return out
+}
+
+func renderTail(w io.Writer, res *wire.ExemplarsResultMsg, s obs.Snapshot, top int) {
+	fmt.Fprintf(w, "flight recorder at %s: %d queries observed, %d exemplars published, threshold %.1fms\n",
+		res.Source, res.Observed, res.Published, float64(res.ThresholdUS)/1e3)
+
+	byOutcome := map[string]int64{}
+	for _, c := range s.Counters {
+		if c.Name == "obs.exemplars" {
+			byOutcome[c.Label] = c.Value
+		}
+	}
+	if len(byOutcome) > 0 {
+		fmt.Fprintf(w, "outcomes: slow %d, error %d, degraded %d, normal %d\n",
+			byOutcome["slow"], byOutcome["error"], byOutcome["degraded"], byOutcome["normal"])
+	}
+
+	causes := tailCauses(s)
+	if len(causes) > 0 {
+		var totalUS int64
+		for _, r := range causes {
+			totalUS += r.totalUS
+		}
+		fmt.Fprintln(w, "\ntail attribution (exceedances, ranked by attributed time):")
+		fmt.Fprintln(w, "  cause                        dominant     total ms   share")
+		for _, r := range causes {
+			share := 0.0
+			if totalUS > 0 {
+				share = 100 * float64(r.totalUS) / float64(totalUS)
+			}
+			fmt.Fprintf(w, "  %-26s %10d %12.3f  %5.1f%%\n",
+				r.cause, r.dominant, float64(r.totalUS)/1e3, share)
+		}
+	}
+
+	if len(res.Exemplars) == 0 {
+		fmt.Fprintln(w, "\nno exemplars captured yet")
+		return
+	}
+
+	// Slowest first for the detail listing.
+	exs := append([]flightrec.Exemplar(nil), res.Exemplars...)
+	sort.SliceStable(exs, func(i, j int) bool { return exs[i].DurUS > exs[j].DurUS })
+	if top > len(exs) {
+		top = len(exs)
+	}
+	fmt.Fprintf(w, "\nslowest %d exemplars:\n", top)
+	for _, e := range exs[:top] {
+		trace := e.Trace
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Fprintf(w, "  #%d %-8s %8.3fms  cause %-22s %8.3fms  trace %s\n",
+			e.Seq, e.Outcome, float64(e.DurUS)/1e3, e.Cause, float64(e.CauseUS)/1e3, trace)
+		if e.SQL != "" {
+			fmt.Fprintf(w, "      sql: %s\n", oneLine(e.SQL, 88))
+		}
+		if e.Err != "" {
+			fmt.Fprintf(w, "      err: %s\n", oneLine(e.Err, 88))
+		}
+		for _, p := range e.Attribution {
+			fmt.Fprintf(w, "      %-26s %10.3fms\n", p.Cause, float64(p.US)/1e3)
+		}
+		for _, l := range e.Legs {
+			errs := ""
+			if l.Err != "" {
+				errs = "  err=" + oneLine(l.Err, 40)
+			}
+			fmt.Fprintf(w, "      leg %-10s %-24s wall %8.3fms (pool %0.3f, rpc %0.3f)%s\n",
+				l.Kind, l.Site, float64(l.WallUS)/1e3,
+				float64(l.PoolWaitUS)/1e3, float64(l.RPCUS)/1e3, errs)
+		}
+	}
+}
+
+// oneLine collapses whitespace and truncates for table rendering.
+func oneLine(s string, max int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > max {
+		s = s[:max-1] + "…"
+	}
+	return s
+}

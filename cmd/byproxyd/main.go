@@ -26,6 +26,7 @@ import (
 	"bypassyield/internal/faultnet"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/wire"
 )
@@ -58,6 +59,11 @@ type options struct {
 	ledgerOut string // JSONL decision log path ("" disables)
 	shadow    bool   // run counterfactual shadow baselines
 
+	flightThreshold time.Duration // flight-recorder slow-capture threshold
+	flightCap       int           // flight-recorder exemplar ring capacity
+	flightSample    int           // publish every Nth healthy query (0 disables)
+	exemplarOut     string        // JSONL exemplar log path ("" disables)
+
 	maxInflight int // concurrently pipelined client queries
 	poolSize    int // per-site connection-pool bound
 }
@@ -87,6 +93,11 @@ func main() {
 	flag.Int64Var(&o.ledgerCap, "ledger", 4096, "decision-ledger ring capacity in records (0 disables)")
 	flag.StringVar(&o.ledgerOut, "ledger-out", "", "append every decision record as JSONL to this file")
 	flag.BoolVar(&o.shadow, "shadow", true, "run counterfactual baselines (always-bypass, LRU-K) online")
+	fdef := flightrec.DefaultConfig()
+	flag.DurationVar(&o.flightThreshold, "flight-threshold", fdef.Threshold, "capture a full exemplar for every query at least this slow")
+	flag.IntVar(&o.flightCap, "flight-cap", fdef.Capacity, "flight-recorder exemplar ring capacity")
+	flag.IntVar(&o.flightSample, "flight-sample", fdef.SampleEvery, "also capture every Nth healthy query as a 'normal' exemplar (0 disables)")
+	flag.StringVar(&o.exemplarOut, "exemplar-out", "", "append every published exemplar as JSONL to this file")
 	flag.IntVar(&o.maxInflight, "max-inflight", wire.DefaultMaxInflight, "concurrently pipelined client queries (1 serializes the pipeline)")
 	flag.IntVar(&o.poolSize, "pool-size", wire.DefaultPoolSize, "per-site node connection pool bound (max checked-out conns)")
 	flag.Parse()
@@ -116,13 +127,14 @@ func run(o options) error {
 // daemon is a started proxy with its telemetry plane, span sink, and
 // decision-ledger sink.
 type daemon struct {
-	proxy  *wire.Proxy
-	http   *obs.HTTPServer // nil when -http is unset
-	sink   *obs.JSONL      // nil when -trace-out is unset
-	ledger *ledger.JSONL   // nil when -ledger-out is unset
-	plan   *faultnet.Plan  // nil when -chaos is unset
-	bound  string
-	desc   string
+	proxy     *wire.Proxy
+	http      *obs.HTTPServer  // nil when -http is unset
+	sink      *obs.JSONL       // nil when -trace-out is unset
+	ledger    *ledger.JSONL    // nil when -ledger-out is unset
+	exemplars *flightrec.JSONL // nil when -exemplar-out is unset
+	plan      *faultnet.Plan   // nil when -chaos is unset
+	bound     string
+	desc      string
 }
 
 // Close shuts the listener, the HTTP plane, and — last, so in-flight
@@ -143,6 +155,9 @@ func (d *daemon) Close() error {
 	}
 	if lerr := d.ledger.Close(); err == nil {
 		err = lerr
+	}
+	if eerr := d.exemplars.Close(); err == nil {
+		err = eerr
 	}
 	return err
 }
@@ -226,7 +241,19 @@ func start(o options) (*daemon, error) {
 	proxy.SetBreakerConfig(bcfg)
 	proxy.SetConcurrency(o.maxInflight, 0)
 	proxy.SetPoolConfig(wire.PoolConfig{MaxActive: o.poolSize})
+	proxy.SetFlightConfig(flightrec.Config{
+		Capacity: o.flightCap, Threshold: o.flightThreshold, SampleEvery: o.flightSample,
+	})
 	d := &daemon{proxy: proxy, ledger: ledSink}
+	if o.exemplarOut != "" {
+		f, err := os.OpenFile(o.exemplarOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			ledSink.Close()
+			return nil, err
+		}
+		d.exemplars = flightrec.NewJSONL(f)
+		proxy.SetExemplarSink(d.exemplars)
+	}
 	if o.chaos != "" {
 		plan, err := faultnet.ParsePlan(o.chaos, o.chaosSeed)
 		if err != nil {
@@ -247,6 +274,7 @@ func start(o options) (*daemon, error) {
 		f, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			d.ledger.Close()
+			d.exemplars.Close()
 			return nil, err
 		}
 		d.sink = obs.NewJSONL(f)
@@ -257,6 +285,7 @@ func start(o options) (*daemon, error) {
 		if err != nil {
 			d.sink.Close()
 			d.ledger.Close()
+			d.exemplars.Close()
 			return nil, err
 		}
 		d.http = srv
@@ -268,6 +297,7 @@ func start(o options) (*daemon, error) {
 		}
 		d.sink.Close()
 		d.ledger.Close()
+		d.exemplars.Close()
 		return nil, err
 	}
 	d.bound = bound

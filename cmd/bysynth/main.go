@@ -25,7 +25,9 @@
 //
 // Per-query failures, degraded results, and shedding are report data,
 // not process failures: bysynth exits nonzero only when the run
-// cannot proceed at all (bad spec, unreachable proxy after -wait).
+// cannot proceed at all (bad spec, unreachable proxy after -wait) —
+// or when -slo-fail is set and attainment lands below it, turning the
+// harness into a CI latency gate.
 package main
 
 import (
@@ -66,6 +68,7 @@ type options struct {
 	asJSON   bool
 	quiet    bool
 	noScrape bool
+	sloFail  float64
 }
 
 func main() {
@@ -89,6 +92,7 @@ func main() {
 	flag.BoolVar(&o.asJSON, "json", false, "print the JSON report to stdout instead of the table")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress progress logging")
 	flag.BoolVar(&o.noScrape, "no-scrape", false, "skip the proxy metrics scrape (targets that only speak MsgQuery)")
+	flag.Float64Var(&o.sloFail, "slo-fail", 0, "exit nonzero when SLO attainment falls below this fraction (0 disables; e.g. 0.90)")
 	flag.Parse()
 
 	if *list {
@@ -208,8 +212,17 @@ func run(ctx context.Context, o options, stdout io.Writer) error {
 		}
 	}
 	if o.asJSON {
-		_, err := stdout.Write(data)
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := rep.WriteText(stdout); err != nil {
 		return err
 	}
-	return rep.WriteText(stdout)
+	// The SLO gate runs after the report is out: a failing run still
+	// leaves the full evidence on stdout and in -out.
+	if o.sloFail > 0 && rep.SLO.Attainment < o.sloFail {
+		return fmt.Errorf("slo gate: attainment %.4f below -slo-fail %.4f (%d/%d met the %v objective)",
+			rep.SLO.Attainment, o.sloFail, rep.SLO.Met, rep.Completed, o.slo)
+	}
+	return nil
 }

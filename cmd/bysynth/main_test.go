@@ -15,6 +15,7 @@ import (
 	"bypassyield/internal/faultnet"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/synth"
 	"bypassyield/internal/wire"
 )
@@ -65,8 +66,9 @@ func TestLoadScenarioPrecedence(t *testing.T) {
 
 // testFederation stands up an in-process EDR federation — engine, one
 // DBNode per site, mediating proxy — optionally with a fault injector
-// on the proxy's node connections.
-func testFederation(t *testing.T, inj *faultnet.Injector) string {
+// on the proxy's node connections. It returns the client address and
+// the proxy for flight-recorder inspection.
+func testFederation(t *testing.T, inj *faultnet.Injector) (string, *wire.Proxy) {
 	t.Helper()
 	s := catalog.EDR()
 	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 100000})
@@ -109,14 +111,14 @@ func testFederation(t *testing.T, inj *faultnet.Injector) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { proxy.Close() })
-	return addr
+	return addr, proxy
 }
 
 // TestRunAgainstProxy drives the full command path — waitReady, a
 // scaled canned scenario, JSON report to -out — against a healthy
 // in-process federation.
 func TestRunAgainstProxy(t *testing.T) {
-	addr := testFederation(t, nil)
+	addr, _ := testFederation(t, nil)
 	out := filepath.Join(t.TempDir(), "report.json")
 	var sb strings.Builder
 	err := run(context.Background(), options{
@@ -162,11 +164,22 @@ func TestRunAgainstProxy(t *testing.T) {
 // fault injection on both the proxy's node legs and the client
 // connections must record nonzero errors or degraded results — and
 // still produce a clean report with the accounting identities intact
-// (exit 0; failures under chaos are data).
+// (exit 0; failures under chaos are data). The flight recorder must
+// capture the faults as complete exemplars; with CHAOS_EXEMPLARS_OUT
+// set, they are also streamed to a JSONL file (archived by CI).
 func TestChaosSynth(t *testing.T) {
 	inj := faultnet.NewInjector(7)
 	inj.Set(faultnet.Faults{Latency: time.Millisecond, ResetProb: 0.05})
-	addr := testFederation(t, inj)
+	addr, proxy := testFederation(t, inj)
+
+	if path := os.Getenv("CHAOS_EXEMPLARS_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		proxy.SetExemplarSink(flightrec.NewJSONL(f))
+	}
 
 	clientChaos := faultnet.NewInjector(11)
 	clientChaos.Set(faultnet.Faults{ResetProb: 0.02})
@@ -200,6 +213,99 @@ func TestChaosSynth(t *testing.T) {
 		t.Fatalf("identity broken under chaos: completed %d + errors %d + abandoned %d ≠ dispatched %d",
 			rep.Completed, rep.Errors, rep.Abandoned, rep.Dispatched)
 	}
-	t.Logf("chaos: %d completed, %d errors, %d degraded, %d shed",
-		rep.Completed, rep.Errors, rep.Degraded, rep.Shed)
+
+	// The probabilistic draws above may land entirely on client
+	// connections (which the proxy never mediates); hard-fail every
+	// node leg for a few direct queries so at least one server-side
+	// fault exemplar exists deterministically.
+	inj.Set(faultnet.Faults{ResetProb: 1})
+	cl, err := wire.DialTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		// Minted correlation ids double as the traced-exemplar fixture.
+		tctx := obs.TraceContext{TraceID: obs.NewID(), SpanID: obs.NewID()}
+		cl.QueryTraced("select z, zconf from specobj where z < 3", tctx) // errors are the point
+	}
+	cl.Close()
+	inj.Set(faultnet.Faults{})
+
+	// The proxy's flight recorder saw the same chaos: at least one
+	// error or degraded exemplar, captured completely — query text,
+	// duration, attribution, and a live runtime snapshot.
+	exs := proxy.Flight().Snapshot()
+	hit := 0
+	for _, e := range exs {
+		if e.Outcome != flightrec.OutcomeError && e.Outcome != flightrec.OutcomeDegraded {
+			continue
+		}
+		hit++
+		if e.SQL == "" || e.DurUS <= 0 {
+			t.Fatalf("incomplete exemplar: %+v", e)
+		}
+		if e.Outcome == flightrec.OutcomeError && e.Err == "" {
+			t.Fatalf("error exemplar without error text: %+v", e)
+		}
+		if len(e.Attribution) == 0 || e.Cause == "" {
+			t.Fatalf("exemplar missing attribution: %+v", e)
+		}
+		if e.Runtime.Goroutines <= 0 || e.Runtime.HeapAllocBytes <= 0 {
+			t.Fatalf("exemplar missing runtime snapshot: %+v", e)
+		}
+		// Degraded results come from failed or partial legs. When the
+		// breaker is already open the leg fast-fails before any wire
+		// activity, so no LegRec exists — but the decision record must
+		// still name the failed site so the exemplar stays explainable.
+		if e.Outcome == flightrec.OutcomeDegraded && len(e.Legs) == 0 && len(e.Decisions) == 0 {
+			t.Fatalf("degraded exemplar with neither legs nor decisions: %+v", e)
+		}
+	}
+	if hit == 0 {
+		t.Fatalf("chaos run (%d errors, %d degraded) published no fault exemplar among %d",
+			rep.Errors, rep.Degraded, len(exs))
+	}
+	// Per-op minted correlation ids reach the recorder.
+	traced := 0
+	for _, e := range exs {
+		if e.Trace != "" {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Fatalf("no exemplar carries a trace id: %+v", exs)
+	}
+	t.Logf("chaos: %d completed, %d errors, %d degraded, %d shed; %d fault exemplars (%d traced)",
+		rep.Completed, rep.Errors, rep.Degraded, rep.Shed, hit, traced)
+}
+
+// TestSLOGate: -slo-fail turns attainment into an exit code — an
+// impossible objective must fail the run after the report is written,
+// an easy one must pass.
+func TestSLOGate(t *testing.T) {
+	addr, _ := testFederation(t, nil)
+	base := options{
+		addr: addr, scenario: "steady", timeScale: 20, rpsScale: 0.25,
+		maxInflight: 32, wait: 5 * time.Second, quiet: true, slo: synth.DefaultSLO,
+	}
+
+	var sb strings.Builder
+	ok := base
+	ok.sloFail = 0.01
+	if err := run(context.Background(), ok, &sb); err != nil {
+		t.Fatalf("easy slo gate failed: %v", err)
+	}
+
+	sb.Reset()
+	bad := base
+	bad.slo = time.Nanosecond // nothing completes in a nanosecond
+	bad.sloFail = 0.99
+	err := run(context.Background(), bad, &sb)
+	if err == nil || !strings.Contains(err.Error(), "slo gate") {
+		t.Fatalf("impossible slo gate passed: %v", err)
+	}
+	// The report must still have been rendered before the gate fired.
+	if !strings.Contains(sb.String(), "achieved") {
+		t.Fatalf("gate failure swallowed the report:\n%s", sb.String())
+	}
 }

@@ -52,6 +52,10 @@ import (
 //	                          with explicit sub-microsecond buckets —
 //	                          the name keeps the Prometheus convention
 //	                          while the unit stays integer-friendly
+//	core.lock_wait_us         histogram: time queries spend blocked on
+//	                          the mediation decision lock (µs) — the
+//	                          decision plane's queueing delay, which
+//	                          tail attribution separates from WAN time
 //
 // Pipeline concurrency (the proxy's decide-then-execute split —
 // decisions stay sequential under the mediation lock, WAN legs and
@@ -98,7 +102,8 @@ type Telemetry struct {
 	cacheRate  *obs.Rate
 	queryRate  *obs.Rate
 
-	decide *obs.Histogram
+	decide   *obs.Histogram
+	lockWait *obs.Histogram
 
 	queryConcurrency *obs.Gauge
 	legsInflight     *obs.Gauge
@@ -154,7 +159,8 @@ func NewTelemetry(r *obs.Registry) *Telemetry {
 		cacheRate:       r.Rate("core.cache_bytes_rate"),
 		queryRate:       r.Rate("core.query_rate"),
 
-		decide: r.Histogram("core.decide_seconds", DecideBuckets()),
+		decide:   r.Histogram("core.decide_seconds", DecideBuckets()),
+		lockWait: r.Histogram("core.lock_wait_us", obs.DefaultLatencyBuckets()),
 
 		queryConcurrency: r.Gauge("core.query_concurrency"),
 		legsInflight:     r.Gauge("core.legs_inflight"),
@@ -236,6 +242,15 @@ func (t *Telemetry) ObserveDecide(d time.Duration) {
 		return
 	}
 	t.decide.Observe(int64(d))
+}
+
+// ObserveLockWait records how long one query waited for the mediation
+// decision lock in the core.lock_wait_us histogram (microseconds).
+func (t *Telemetry) ObserveLockWait(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.lockWait.Observe(d.Microseconds())
 }
 
 // QueryInflight moves the core.query_concurrency gauge by delta; the

@@ -147,6 +147,13 @@ type QueryReport struct {
 	Degraded bool
 	// SiteErrors details each unavailable site touched by the query.
 	SiteErrors []SiteError
+	// Phase timings in microseconds, consumed by the proxy's flight
+	// recorder for critical-path attribution: ExecUS is the lock-free
+	// bind/execute phase, LockWaitUS the time blocked waiting for the
+	// decision lock, DecideUS the locked decision phase.
+	ExecUS     int64
+	LockWaitUS int64
+	DecideUS   int64
 }
 
 // New builds a mediator. The engine must serve the same schema.
@@ -325,12 +332,18 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 		objs[i] = obj
 	}
 
+	execUS := time.Since(start).Microseconds()
+
 	// Decision phase — the short critical section. Policy decisions,
 	// accounting, ledger records, and shadow replays stay sequential in
 	// query order so Σ decision yields = D_A is exact and every policy
 	// observes a consistent clock.
+	lockStart := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	lockWait := time.Since(lockStart)
+	m.tel.ObserveLockWait(lockWait)
+	decidePhaseStart := time.Now()
 	m.t++
 	m.acct.Queries++
 	m.queriesMet.Add(1)
@@ -385,6 +398,9 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 			m.lastEvictions = ev
 		}
 	}
+	rep.ExecUS = execUS
+	rep.LockWaitUS = lockWait.Microseconds()
+	rep.DecideUS = time.Since(decidePhaseStart).Microseconds()
 	m.queryLatency.Observe(time.Since(start).Microseconds())
 	return rep, nil
 }

@@ -1,0 +1,65 @@
+package flightrec
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"bypassyield/internal/obs"
+)
+
+// TestFastPathAllocFree asserts the acceptance criterion: a capture
+// that does not publish (healthy, under threshold, reservoir off)
+// costs zero allocations in steady state — Begin pools the capture
+// and the slices it accumulates are reused across queries. GC is
+// disabled for the measurement so the pool cannot be drained mid-run.
+func TestFastPathAllocFree(t *testing.T) {
+	rec := New(Config{Capacity: 64, Threshold: time.Hour, SampleEvery: 0}, obs.NewRegistry())
+
+	work := func() {
+		c := rec.Begin()
+		c.SetQuery("select ra, dec from photoobj", 0xfeed)
+		c.SetMediation(120, 4, 9)
+		c.Decision("edr/photoobj", "photo.sdss.org", "hit", "", 4096)
+		c.Leg("photo.sdss.org", "fetch", "edr/photoobj", c.Now(), 2, 80, 85, nil)
+		c.SetEncodeUS(6)
+		rec.Finish(c, nil)
+	}
+	// Warm the pool and grow the capture slices to steady state.
+	for i := 0; i < 64; i++ {
+		work()
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(1000, work); allocs != 0 {
+		t.Fatalf("fast path allocates %.1f objects per query, want 0", allocs)
+	}
+	if rec.Published() != 0 {
+		t.Fatalf("fast-path bench published %d exemplars, want 0", rec.Published())
+	}
+}
+
+func BenchmarkFastPath(b *testing.B) {
+	rec := New(Config{Capacity: 64, Threshold: time.Hour, SampleEvery: 0}, obs.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := rec.Begin()
+		c.SetQuery("select ra from photoobj", uint64(i)+1)
+		c.SetMediation(120, 4, 9)
+		c.Leg("photo.sdss.org", "fetch", "edr/photoobj", c.Now(), 2, 80, 85, nil)
+		rec.Finish(c, nil)
+	}
+}
+
+func BenchmarkPublish(b *testing.B) {
+	rec := New(Config{Capacity: 256, Threshold: time.Nanosecond}, obs.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := rec.Begin()
+		c.SetQuery("select ra from photoobj", uint64(i)+1)
+		c.Leg("photo.sdss.org", "fetch", "edr/photoobj", 0, 2, 80, 85, nil)
+		rec.Finish(c, nil)
+	}
+}

@@ -1,0 +1,548 @@
+// Package flightrec is the federation's always-on flight recorder:
+// a bounded, lock-free ring of full per-query exemplars captured for
+// every query that breaches a latency threshold, errors, or is served
+// degraded — plus reservoir-sampled "normal" exemplars for contrast.
+//
+// The paper argues about byte flows; operations argue about tails. A
+// p99 violation can originate in the decision plane (mediator lock
+// wait), a WAN leg, a connection-pool wait, result encoding, or the
+// runtime itself (GC pause) — and aggregate histograms cannot say
+// which. The recorder keeps the evidence: each exemplar carries the
+// query's decision record, per-leg wire timings, phase durations, a
+// runtime snapshot, and a computed critical-path attribution naming
+// the dominant cause.
+//
+// Design constraints mirror package obs and obs/ledger:
+//
+//   - The non-exceeding fast path (Begin → timings → Finish below
+//     threshold, no error, not degraded, reservoir disabled) is
+//     allocation-free in steady state: captures are pooled and their
+//     slices are reused. bench_test.go asserts zero allocations.
+//   - Publication is the slow path and may allocate freely (copying
+//     the capture, reading MemStats, formatting ids).
+//   - A nil *Recorder and nil *Capture are valid no-ops, so call
+//     sites thread them unconditionally.
+package flightrec
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bypassyield/internal/obs"
+)
+
+// Exemplar outcomes.
+const (
+	OutcomeSlow     = "slow"     // latency ≥ threshold
+	OutcomeError    = "error"    // query failed
+	OutcomeDegraded = "degraded" // served with forced-stale or failed legs
+	OutcomeNormal   = "normal"   // reservoir-sampled healthy query
+)
+
+// Attribution cause labels (see attrib.go). WAN legs use "wan:<site>".
+const (
+	CauseExecute    = "server-execute"
+	CausePoolWait   = "pool-wait"
+	CauseDecideWait = "decide-wait"
+	CauseDecide     = "decide"
+	CauseEncode     = "encode"
+	CauseRuntimeGC  = "runtime-gc"
+	CauseOther      = "other"
+)
+
+// LegRec is one WAN leg's timing inside an exemplar.
+type LegRec struct {
+	// Site is the remote federation member.
+	Site string `json:"site"`
+	// Kind is "fetch" (object load) or "subquery" (bypass ship).
+	Kind string `json:"kind"`
+	// Object is the object id (fetches) or target table (subqueries).
+	Object string `json:"object,omitempty"`
+	// StartUS is the leg's start offset from query start, microseconds.
+	StartUS int64 `json:"start_us"`
+	// PoolWaitUS is time spent waiting for a pooled connection.
+	PoolWaitUS int64 `json:"pool_wait_us"`
+	// RPCUS is the wire round-trip (write request, read response).
+	RPCUS int64 `json:"rpc_us"`
+	// WallUS is the leg's total wall time (≥ PoolWaitUS + RPCUS;
+	// includes retries and coalesced-fetch waits).
+	WallUS int64 `json:"wall_us"`
+	// Err is the transport error, if the leg failed.
+	Err string `json:"err,omitempty"`
+}
+
+// DecisionRec is one per-object cache decision inside an exemplar.
+type DecisionRec struct {
+	Object string `json:"object"`
+	Site   string `json:"site"`
+	Yield  int64  `json:"yield"`
+	Action string `json:"action"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// BreakerRec is one site's circuit-breaker state at capture time.
+type BreakerRec struct {
+	Site  string `json:"site"`
+	State string `json:"state"`
+}
+
+// RuntimeSnap is the Go runtime's state when the exemplar published.
+type RuntimeSnap struct {
+	Goroutines     int   `json:"goroutines"`
+	HeapAllocBytes int64 `json:"heap_alloc_bytes"`
+	GCCycles       int64 `json:"gc_cycles"`
+	// LastGCPauseUS is the most recent stop-the-world pause.
+	LastGCPauseUS int64 `json:"last_gc_pause_us"`
+	// LastGCUnixNano is when the last GC cycle ended (0 = never).
+	LastGCUnixNano int64 `json:"last_gc_unix_nano"`
+}
+
+// CausePoint is one attributed slice of an exemplar's duration.
+type CausePoint struct {
+	Cause string `json:"cause"`
+	US    int64  `json:"us"`
+}
+
+// Exemplar is one recorded query: identity, phase timings, the span
+// tree (legs), the decision record, and the computed attribution.
+type Exemplar struct {
+	// Seq is the recorder sequence number (1-based).
+	Seq uint64 `json:"seq"`
+	// Trace is the query's 16-hex trace id ("" when untraced).
+	Trace string `json:"trace,omitempty"`
+	// SQL is the query text.
+	SQL string `json:"sql,omitempty"`
+	// Start is the query's wall-clock start.
+	Start time.Time `json:"start"`
+	// DurUS is the total query duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Outcome is slow | error | degraded | normal.
+	Outcome string `json:"outcome"`
+	// Err is the query error, for error exemplars.
+	Err string `json:"err,omitempty"`
+
+	// Phase timings (microseconds). ExecUS is server-side statement
+	// execution; DecideWaitUS is time blocked on the mediator lock;
+	// DecideUS is the locked decision phase; EncodeUS is result
+	// serialization back to the client.
+	ExecUS       int64 `json:"exec_us"`
+	DecideWaitUS int64 `json:"decide_wait_us"`
+	DecideUS     int64 `json:"decide_us"`
+	EncodeUS     int64 `json:"encode_us"`
+
+	Legs      []LegRec      `json:"legs,omitempty"`
+	Decisions []DecisionRec `json:"decisions,omitempty"`
+	Breakers  []BreakerRec  `json:"breakers,omitempty"`
+	Runtime   RuntimeSnap   `json:"runtime"`
+
+	// Cause is the dominant attributed cause; CauseUS its share.
+	Cause   string `json:"cause,omitempty"`
+	CauseUS int64  `json:"cause_us,omitempty"`
+	// Attribution is the full breakdown, largest first.
+	Attribution []CausePoint `json:"attribution,omitempty"`
+}
+
+// Config sizes a Recorder.
+type Config struct {
+	// Capacity is the exemplar ring size (≤ 0 → 256).
+	Capacity int
+	// Threshold is the latency above which every query is captured
+	// (≤ 0 → 250ms).
+	Threshold time.Duration
+	// SampleEvery publishes every Nth healthy query as a "normal"
+	// exemplar for contrast (≤ 0 disables the reservoir — required
+	// for a fully allocation-free fast path).
+	SampleEvery int
+}
+
+// DefaultConfig is the always-on daemon configuration.
+func DefaultConfig() Config {
+	return Config{Capacity: 256, Threshold: 250 * time.Millisecond, SampleEvery: 256}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Sink consumes published exemplars (in addition to the ring).
+// Implementations must tolerate concurrent calls.
+type Sink interface {
+	Exemplar(Exemplar)
+}
+
+// Recorder is the bounded exemplar ring. Construct with New; nil is a
+// valid no-op recorder.
+type Recorder struct {
+	cfg      Config
+	slots    []slot
+	seq      atomic.Uint64 // published exemplars
+	observed atomic.Uint64 // all finished captures
+	pool     sync.Pool
+	sink     Sink            // set before recording starts
+	annotate func(*Exemplar) // set before recording starts
+
+	// Registry handles (nil-safe when no registry was attached).
+	exemplars   *obs.CounterFamily // obs.exemplars{outcome}
+	tailCause   *obs.CounterFamily // obs.tail_cause{cause} — dominant
+	tailCauseUS *obs.CounterFamily // obs.tail_cause_us{cause} — all µs
+}
+
+type slot struct {
+	ex atomic.Pointer[Exemplar]
+}
+
+// New returns a recorder. r may be nil (no counters exported).
+func New(cfg Config, r *obs.Registry) *Recorder {
+	cfg = cfg.withDefaults()
+	rec := &Recorder{
+		cfg:         cfg,
+		slots:       make([]slot, cfg.Capacity),
+		exemplars:   r.CounterFamily("obs.exemplars"),
+		tailCause:   r.CounterFamily("obs.tail_cause"),
+		tailCauseUS: r.CounterFamily("obs.tail_cause_us"),
+	}
+	rec.pool.New = func() any { return new(Capture) }
+	return rec
+}
+
+// SetSink attaches a sink receiving every published exemplar (e.g. a
+// JSONL file). Call before recording starts. Nil-safe.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sink = s
+}
+
+// SetAnnotate attaches a hook run on every exemplar before it
+// publishes — the proxy uses it to stamp breaker states. Call before
+// recording starts. Nil-safe.
+func (r *Recorder) SetAnnotate(fn func(*Exemplar)) {
+	if r == nil {
+		return
+	}
+	r.annotate = fn
+}
+
+// ThresholdUS returns the capture threshold in microseconds.
+func (r *Recorder) ThresholdUS() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.cfg.Threshold.Microseconds()
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Observed returns the number of finished captures (published or not).
+func (r *Recorder) Observed() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.observed.Load()
+}
+
+// Published returns the number of exemplars ever published.
+func (r *Recorder) Published() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Begin starts a capture. Returns nil (a valid no-op capture) on a
+// nil recorder. Allocation-free in steady state: captures are pooled.
+func (r *Recorder) Begin() *Capture {
+	if r == nil {
+		return nil
+	}
+	c := r.pool.Get().(*Capture)
+	c.start = time.Now()
+	return c
+}
+
+// Finish completes a capture, publishing an exemplar when the query
+// erred, was degraded, breached the threshold, or hit the reservoir —
+// and recycling the capture either way. Nil-safe in both arguments.
+func (r *Recorder) Finish(c *Capture, err error) {
+	if r == nil || c == nil {
+		return
+	}
+	n := r.observed.Add(1)
+	dur := time.Since(c.start)
+	outcome := ""
+	switch {
+	case err != nil:
+		outcome = OutcomeError
+	case c.degraded:
+		outcome = OutcomeDegraded
+	case dur >= r.cfg.Threshold:
+		outcome = OutcomeSlow
+	case r.cfg.SampleEvery > 0 && n%uint64(r.cfg.SampleEvery) == 0:
+		outcome = OutcomeNormal
+	}
+	if outcome != "" {
+		r.publish(c, err, dur, outcome)
+	}
+	c.reset()
+	r.pool.Put(c)
+}
+
+// publish copies the capture into an immutable Exemplar, attributes
+// its critical path, and stores it in the ring. Slow path: allocates.
+func (r *Recorder) publish(c *Capture, err error, dur time.Duration, outcome string) {
+	e := &Exemplar{
+		Trace:        obs.FormatID(c.trace),
+		SQL:          c.sql,
+		Start:        c.start,
+		DurUS:        dur.Microseconds(),
+		Outcome:      outcome,
+		ExecUS:       c.execUS,
+		DecideWaitUS: c.decideWaitUS,
+		DecideUS:     c.decideUS,
+		EncodeUS:     c.encodeUS,
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	c.mu.Lock()
+	if len(c.legs) > 0 {
+		e.Legs = make([]LegRec, len(c.legs))
+		copy(e.Legs, c.legs)
+	}
+	c.mu.Unlock()
+	if len(c.decisions) > 0 {
+		e.Decisions = make([]DecisionRec, len(c.decisions))
+		copy(e.Decisions, c.decisions)
+	}
+	e.Runtime = readRuntime()
+	attribute(e)
+	if r.annotate != nil {
+		r.annotate(e)
+	}
+	seq := r.seq.Add(1)
+	e.Seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].ex.Store(e)
+
+	r.exemplars.Add(outcome, 1)
+	if outcome != OutcomeNormal {
+		r.tailCause.Add(e.Cause, 1)
+		for _, p := range e.Attribution {
+			r.tailCauseUS.Add(p.Cause, p.US)
+		}
+	}
+	if r.sink != nil {
+		r.sink.Exemplar(*e)
+	}
+}
+
+// Snapshot returns the retained exemplars oldest-first. Slots claimed
+// but not yet published, or overwritten by a ring wrap mid-read, are
+// skipped. Nil on a nil recorder.
+func (r *Recorder) Snapshot() []Exemplar {
+	if r == nil {
+		return nil
+	}
+	seq := r.seq.Load()
+	if seq == 0 {
+		return nil
+	}
+	n := uint64(len(r.slots))
+	lo := uint64(1)
+	if seq > n {
+		lo = seq - n + 1
+	}
+	out := make([]Exemplar, 0, seq-lo+1)
+	for s := lo; s <= seq; s++ {
+		ex := r.slots[(s-1)%n].ex.Load()
+		if ex == nil || ex.Seq != s {
+			continue
+		}
+		out = append(out, *ex)
+	}
+	return out
+}
+
+func readRuntime() RuntimeSnap {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSnap{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: int64(ms.HeapAlloc),
+		GCCycles:       int64(ms.NumGC),
+		LastGCUnixNano: int64(ms.LastGC),
+	}
+	if ms.NumGC > 0 {
+		s.LastGCPauseUS = int64(ms.PauseNs[(ms.NumGC+255)%256] / 1000)
+	}
+	return s
+}
+
+// Capture accumulates one query's evidence between Begin and Finish.
+// All methods are nil-safe; Leg is safe for concurrent use (parallel
+// WAN legs record from their own goroutines).
+type Capture struct {
+	start        time.Time
+	sql          string
+	trace        uint64
+	degraded     bool
+	execUS       int64
+	decideWaitUS int64
+	decideUS     int64
+	encodeUS     int64
+	decisions    []DecisionRec
+	mu           sync.Mutex
+	legs         []LegRec
+}
+
+func (c *Capture) reset() {
+	c.sql = ""
+	c.trace = 0
+	c.degraded = false
+	c.execUS, c.decideWaitUS, c.decideUS, c.encodeUS = 0, 0, 0, 0
+	c.decisions = c.decisions[:0]
+	c.legs = c.legs[:0]
+}
+
+// Now returns the capture-relative clock in microseconds (leg start
+// offsets). 0 on a nil capture.
+func (c *Capture) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.start).Microseconds()
+}
+
+// SetQuery records the query's identity.
+func (c *Capture) SetQuery(sql string, trace uint64) {
+	if c == nil {
+		return
+	}
+	c.sql = sql
+	c.trace = trace
+}
+
+// SetDegraded marks the capture as a degraded result.
+func (c *Capture) SetDegraded(v bool) {
+	if c == nil {
+		return
+	}
+	c.degraded = v
+}
+
+// SetMediation records the mediation phase timings (microseconds).
+func (c *Capture) SetMediation(execUS, decideWaitUS, decideUS int64) {
+	if c == nil {
+		return
+	}
+	c.execUS = execUS
+	c.decideWaitUS = decideWaitUS
+	c.decideUS = decideUS
+}
+
+// SetEncodeUS records the result-encoding duration.
+func (c *Capture) SetEncodeUS(us int64) {
+	if c == nil {
+		return
+	}
+	c.encodeUS = us
+}
+
+// Decision appends one per-object cache decision. Strings must be
+// interned constants or pre-existing ids (no per-call formatting), so
+// appending does not allocate beyond slice growth.
+func (c *Capture) Decision(object, site, action, reason string, yield int64) {
+	if c == nil {
+		return
+	}
+	c.decisions = append(c.decisions, DecisionRec{
+		Object: object, Site: site, Yield: yield, Action: action, Reason: reason,
+	})
+}
+
+// Leg appends one WAN leg's timing. Safe for concurrent use.
+func (c *Capture) Leg(site, kind, object string, startUS, poolWaitUS, rpcUS, wallUS int64, err error) {
+	if c == nil {
+		return
+	}
+	rec := LegRec{
+		Site: site, Kind: kind, Object: object,
+		StartUS: startUS, PoolWaitUS: poolWaitUS, RPCUS: rpcUS, WallUS: wallUS,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		c.SetDegraded(true)
+	}
+	c.mu.Lock()
+	c.legs = append(c.legs, rec)
+	c.mu.Unlock()
+}
+
+// JSONL is a sink appending one JSON object per exemplar, for offline
+// tail forensics (byproxyd -exemplar-out).
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONL wraps a writer.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, enc: json.NewEncoder(w)}
+}
+
+// Exemplar implements Sink. Encoding errors are dropped: the recorder
+// must never fail the query it describes.
+func (j *JSONL) Exemplar(e Exemplar) {
+	j.mu.Lock()
+	j.enc.Encode(e) //nolint:errcheck
+	j.mu.Unlock()
+}
+
+// Close closes the underlying writer when it is an io.Closer. Nil-safe.
+func (j *JSONL) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Filter trims exemplars to those matching outcome (""=all) and
+// DurUS ≥ minUS, keeping the most recent limit (≤ 0 = all).
+func Filter(exs []Exemplar, outcome string, minUS int64, limit int) []Exemplar {
+	out := make([]Exemplar, 0, len(exs))
+	for _, e := range exs {
+		if outcome != "" && e.Outcome != outcome {
+			continue
+		}
+		if e.DurUS < minUS {
+			continue
+		}
+		out = append(out, e)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}

@@ -310,6 +310,13 @@ type Registry struct {
 	cfamilies map[string]*CounterFamily
 	gfamilies map[string]*GaugeFamily
 	hfamilies map[string]*HistogramFamily
+
+	// collectors run (unlocked) at the start of every Snapshot, so
+	// pull-style sources (runtime stats, pool occupancy) can refresh
+	// their gauges lazily instead of on a timer.
+	collectors []func()
+	// runtimeEnabled guards EnableRuntimeStats idempotency.
+	runtimeEnabled bool
 }
 
 // NewRegistry returns an empty registry.
@@ -323,6 +330,20 @@ func NewRegistry() *Registry {
 		gfamilies: make(map[string]*GaugeFamily),
 		hfamilies: make(map[string]*HistogramFamily),
 	}
+}
+
+// RegisterCollector adds a function that Snapshot invokes (without
+// holding the registry lock) before capturing metric values.
+// Collectors may freely touch the registry; they must be safe for
+// concurrent use since overlapping Snapshots run them in parallel.
+// No-op on a nil registry.
+func (r *Registry) RegisterCollector(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
 }
 
 // Counter returns the named counter, creating it on first use.

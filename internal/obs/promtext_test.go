@@ -23,6 +23,10 @@ func goldenSnapshot() Snapshot {
 			{Name: "core.bypass_bytes", Value: 1200},
 			{Name: "core.decisions", Label: "rate-profile/bypass", Value: 7},
 			{Name: "core.decisions", Label: "rate-profile/hit", Value: 3},
+			// Flight-recorder tail attribution (flightrec counters).
+			{Name: "obs.exemplars", Label: "slow", Value: 4},
+			{Name: "obs.tail_cause", Label: "wan:spec.sdss.org", Value: 3},
+			{Name: "obs.tail_cause_us", Label: "wan:spec.sdss.org", Value: 91000},
 			{Name: "wire.frames_rx", Label: `weird"label\with` + "\n" + `newline`, Value: 1},
 		},
 		Gauges: []GaugeSnap{
@@ -31,6 +35,10 @@ func goldenSnapshot() Snapshot {
 			// Negative: a shadow baseline can beat the live policy, so
 			// signed gauge rendering is load-bearing.
 			{Name: "core.bytes_saved_vs_lruk", Value: -2048},
+			// Runtime self-observation (obs.EnableRuntimeStats).
+			{Name: "runtime.goroutines", Value: 42},
+			{Name: "runtime.heap_alloc_bytes", Value: 7340032},
+			{Name: "runtime.sched_latency_p99_us", Value: 180},
 			// Gauge-family members (per-site breaker states) share one
 			// TYPE line and carry the family label.
 			{Name: "wire.breaker_state", Label: "photo.sdss.org", Value: 0},
@@ -47,6 +55,21 @@ func goldenSnapshot() Snapshot {
 				Bounds: []int64{100, 250, 500, 1000, 2500},
 				Counts: []int64{0, 3, 5, 1, 0, 1}, // 1 in overflow
 				Sum:    4242, Count: 10,
+			},
+			{
+				// GC pause histogram from the runtime collector.
+				Name:   "runtime.gc_pause_us",
+				Bounds: []int64{10, 20, 40, 80},
+				Counts: []int64{1, 2, 0, 0, 1},
+				Sum:    195, Count: 4,
+			},
+			{
+				// Pool-wait time per site (pool back-pressure signal,
+				// sibling of rpc_latency for adaptive sizing).
+				Name: "wire.pool_wait_us", Label: "photo.sdss.org",
+				Bounds: []int64{100, 1000, 10000},
+				Counts: []int64{5, 2, 0, 1},
+				Sum:    15800, Count: 8,
 			},
 			{
 				Name: "wire.rpc_latency_us", Label: "photo.sdss.org",

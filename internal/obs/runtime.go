@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"sync"
+)
+
+// Runtime self-observation metric names. Every daemon enables these so
+// tail attribution can distinguish a runtime stall (GC pause,
+// scheduler backlog) from a WAN stall.
+const (
+	MetricGoroutines     = "runtime.goroutines"
+	MetricHeapAllocBytes = "runtime.heap_alloc_bytes"
+	MetricHeapSysBytes   = "runtime.heap_sys_bytes"
+	MetricHeapObjects    = "runtime.heap_objects"
+	MetricGCCycles       = "runtime.gc_cycles"
+	MetricGCPauseUS      = "runtime.gc_pause_us"
+	MetricSchedP50US     = "runtime.sched_latency_p50_us"
+	MetricSchedP99US     = "runtime.sched_latency_p99_us"
+)
+
+// GCPauseBuckets spans 10µs to ~327ms in ×2 steps — stop-the-world
+// pauses in microseconds.
+func GCPauseBuckets() []int64 { return ExpBuckets(10, 2, 16) }
+
+const schedLatencyMetric = "/sched/latencies:seconds"
+
+// EnableRuntimeStats registers a Snapshot-time collector that refreshes
+// Go runtime gauges (goroutines, heap, GC cycles), feeds new GC pauses
+// into a runtime.gc_pause_us histogram, and exposes scheduler-latency
+// p50/p99 gauges from runtime/metrics. Idempotent per registry; no-op
+// on a nil registry. Collection costs one ReadMemStats per Snapshot —
+// acceptable on the scrape path, never on the query path.
+func EnableRuntimeStats(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.runtimeEnabled {
+		r.mu.Unlock()
+		return
+	}
+	r.runtimeEnabled = true
+	r.mu.Unlock()
+
+	c := &runtimeCollector{
+		goroutines:  r.Gauge(MetricGoroutines),
+		heapAlloc:   r.Gauge(MetricHeapAllocBytes),
+		heapSys:     r.Gauge(MetricHeapSysBytes),
+		heapObjects: r.Gauge(MetricHeapObjects),
+		gcCycles:    r.Gauge(MetricGCCycles),
+		gcPause:     r.Histogram(MetricGCPauseUS, GCPauseBuckets()),
+		schedP50:    r.Gauge(MetricSchedP50US),
+		schedP99:    r.Gauge(MetricSchedP99US),
+		samples:     []rtmetrics.Sample{{Name: schedLatencyMetric}},
+	}
+	r.RegisterCollector(c.collect)
+}
+
+type runtimeCollector struct {
+	mu          sync.Mutex
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	gcCycles    *Gauge
+	gcPause     *Histogram
+	schedP50    *Gauge
+	schedP99    *Gauge
+	lastNumGC   uint32
+	samples     []rtmetrics.Sample
+}
+
+func (c *runtimeCollector) collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Set(int64(ms.HeapAlloc))
+	c.heapSys.Set(int64(ms.HeapSys))
+	c.heapObjects.Set(int64(ms.HeapObjects))
+	c.gcCycles.Set(int64(ms.NumGC))
+
+	// PauseNs is a circular buffer of the last 256 pauses; cycle i's
+	// pause lives at index (i+255)%256. Feed only cycles newer than the
+	// previous collection (capped at the buffer depth).
+	if n := ms.NumGC; n > c.lastNumGC {
+		lo := c.lastNumGC
+		if n-lo > 256 {
+			lo = n - 256
+		}
+		for i := lo + 1; i <= n; i++ {
+			c.gcPause.Observe(int64(ms.PauseNs[(i+255)%256] / 1000))
+		}
+		c.lastNumGC = n
+	}
+
+	rtmetrics.Read(c.samples)
+	if c.samples[0].Value.Kind() == rtmetrics.KindFloat64Histogram {
+		h := c.samples[0].Value.Float64Histogram()
+		c.schedP50.Set(int64(floatHistQuantile(h, 0.50) * 1e6))
+		c.schedP99.Set(int64(floatHistQuantile(h, 0.99) * 1e6))
+	}
+}
+
+// floatHistQuantile estimates the q-quantile of a runtime/metrics
+// Float64Histogram, returning the upper bound of the bucket holding
+// the rank (the lower bound when the bucket is unbounded above).
+func floatHistQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, +1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestEnableRuntimeStats(t *testing.T) {
+	r := NewRegistry()
+	EnableRuntimeStats(r)
+	EnableRuntimeStats(r) // idempotent: must not double-register
+
+	runtime.GC() // guarantee at least one pause is observable
+
+	s := r.Snapshot()
+	if g := s.GaugeValue(MetricGoroutines); g <= 0 {
+		t.Fatalf("runtime.goroutines = %d, want > 0", g)
+	}
+	if g := s.GaugeValue(MetricHeapAllocBytes); g <= 0 {
+		t.Fatalf("runtime.heap_alloc_bytes = %d, want > 0", g)
+	}
+	if g := s.GaugeValue(MetricGCCycles); g <= 0 {
+		t.Fatalf("runtime.gc_cycles = %d, want > 0", g)
+	}
+	h, ok := s.HistogramSnap(MetricGCPauseUS, "")
+	if !ok {
+		t.Fatal("runtime.gc_pause_us missing from snapshot")
+	}
+	if h.Count == 0 {
+		t.Fatal("runtime.gc_pause_us has no observations after runtime.GC()")
+	}
+
+	// A second snapshot must not re-observe the same GC cycles.
+	before := h.Count
+	s2 := r.Snapshot()
+	h2, _ := s2.HistogramSnap(MetricGCPauseUS, "")
+	cycles := s2.GaugeValue(MetricGCCycles) - s.GaugeValue(MetricGCCycles)
+	if h2.Count-before > cycles {
+		t.Fatalf("gc_pause_us grew by %d but only %d GC cycles elapsed", h2.Count-before, cycles)
+	}
+}
+
+func TestRegisterCollector(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.RegisterCollector(func() {
+		calls++
+		// Collectors may re-enter the registry without deadlocking.
+		r.Gauge("test.collected").Set(int64(calls))
+	})
+	s := r.Snapshot()
+	if calls != 1 {
+		t.Fatalf("collector ran %d times, want 1", calls)
+	}
+	if v := s.GaugeValue("test.collected"); v != 1 {
+		t.Fatalf("test.collected = %d, want 1", v)
+	}
+	r.Snapshot()
+	if calls != 2 {
+		t.Fatalf("collector ran %d times after two snapshots, want 2", calls)
+	}
+	var nilReg *Registry
+	nilReg.RegisterCollector(func() {}) // must not panic
+	EnableRuntimeStats(nilReg)          // must not panic
+}

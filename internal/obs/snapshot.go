@@ -130,6 +130,15 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	r.mu.Lock()
+	collectors := make([]func(), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	// Collectors run unlocked: they re-enter the registry to refresh
+	// gauges/histograms, which would deadlock under r.mu.
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +86,30 @@ type SLOReport struct {
 	Attainment float64 `json:"attainment"`
 }
 
+// TailCause is one attributed tail cause over the run window, from
+// the proxy flight recorder's obs.tail_cause counters.
+type TailCause struct {
+	Cause string `json:"cause"`
+	// Dominant counts exceedances where this cause was the largest
+	// attributed slice.
+	Dominant int64 `json:"dominant"`
+	// TotalUS is the microseconds attributed to this cause across all
+	// exceedances.
+	TotalUS int64 `json:"total_us"`
+}
+
+// TailReport is the proxy flight recorder's view of the run window:
+// how many queries it captured by outcome and why the slow ones were
+// slow, scraped as before/after counter deltas.
+type TailReport struct {
+	Slow     int64 `json:"slow"`
+	Errors   int64 `json:"errors"`
+	Degraded int64 `json:"degraded"`
+	Normal   int64 `json:"normal"`
+	// Causes is the critical-path attribution, largest TotalUS first.
+	Causes []TailCause `json:"causes,omitempty"`
+}
+
 // ProxyDelta is the proxy-side byte flow over the run window, by
 // decision class, scraped from the proxy's metrics endpoint before
 // and after the schedule.
@@ -128,6 +153,7 @@ type Report struct {
 	SLO     SLOReport      `json:"slo"`
 	Classes []ClassSummary `json:"classes,omitempty"`
 	Proxy   *ProxyDelta    `json:"proxy,omitempty"`
+	Tail    *TailReport    `json:"tail,omitempty"`
 }
 
 // Run executes the scenario open-loop against cfg.Addr: the arrival
@@ -324,9 +350,53 @@ dispatch:
 				CacheBytes:      after.CounterValue("core.cache_bytes", "") - before.CounterValue("core.cache_bytes", ""),
 				YieldBytes:      after.CounterValue("core.yield_bytes", "") - before.CounterValue("core.yield_bytes", ""),
 			}
+			rep.Tail = tailDelta(before, after)
 		}
 	}
 	return rep, nil
+}
+
+// tailDelta condenses the proxy flight recorder's counters over the
+// run window. Nil when the window captured nothing (recorder absent
+// or all queries healthy and unsampled).
+func tailDelta(before, after obs.Snapshot) *TailReport {
+	t := &TailReport{
+		Slow:     after.CounterValue("obs.exemplars", "slow") - before.CounterValue("obs.exemplars", "slow"),
+		Errors:   after.CounterValue("obs.exemplars", "error") - before.CounterValue("obs.exemplars", "error"),
+		Degraded: after.CounterValue("obs.exemplars", "degraded") - before.CounterValue("obs.exemplars", "degraded"),
+		Normal:   after.CounterValue("obs.exemplars", "normal") - before.CounterValue("obs.exemplars", "normal"),
+	}
+	causes := map[string]*TailCause{}
+	for _, c := range after.Counters {
+		if c.Name != "obs.tail_cause" && c.Name != "obs.tail_cause_us" {
+			continue
+		}
+		tc := causes[c.Label]
+		if tc == nil {
+			tc = &TailCause{Cause: c.Label}
+			causes[c.Label] = tc
+		}
+		if c.Name == "obs.tail_cause" {
+			tc.Dominant = c.Value - before.CounterValue(c.Name, c.Label)
+		} else {
+			tc.TotalUS = c.Value - before.CounterValue(c.Name, c.Label)
+		}
+	}
+	for _, tc := range causes {
+		if tc.Dominant != 0 || tc.TotalUS != 0 {
+			t.Causes = append(t.Causes, *tc)
+		}
+	}
+	sort.Slice(t.Causes, func(i, j int) bool {
+		if t.Causes[i].TotalUS != t.Causes[j].TotalUS {
+			return t.Causes[i].TotalUS > t.Causes[j].TotalUS
+		}
+		return t.Causes[i].Cause < t.Causes[j].Cause
+	})
+	if t.Slow+t.Errors+t.Degraded+t.Normal == 0 && len(t.Causes) == 0 {
+		return nil
+	}
+	return t
 }
 
 // runState is the shared mutable state of one run.
@@ -390,8 +460,13 @@ func (st *runState) exec(op *Op) {
 		}
 		cl = wire.NewClient(conn)
 	}
+	// Mint a correlation id per operation: the proxy propagates it to
+	// node legs and stamps it on flight-recorder exemplars, so a tail
+	// event in this run can be joined across daemons afterwards
+	// (byinspect -federation merges by trace id).
+	tctx := obs.TraceContext{TraceID: obs.NewID(), SpanID: obs.NewID()}
 	t0 := time.Now()
-	res, err := cl.Query(op.SQL)
+	res, err := cl.QueryTraced(op.SQL, tctx)
 	latUS := time.Since(t0).Microseconds()
 	if err != nil {
 		st.errors.Add(1)
@@ -485,6 +560,14 @@ func (r *Report) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, "  proxy bytes bypass %.3f MB, fetch %.3f MB, cache-hit %.3f MB, yield %.3f MB\n",
 			float64(r.Proxy.BypassBytes)/1e6, float64(r.Proxy.FetchBytes)/1e6,
 			float64(r.Proxy.CacheBytes)/1e6, float64(r.Proxy.YieldBytes)/1e6)
+	}
+	if r.Tail != nil {
+		fmt.Fprintf(w, "  tail        %d slow, %d error, %d degraded exemplars (%d normal samples)\n",
+			r.Tail.Slow, r.Tail.Errors, r.Tail.Degraded, r.Tail.Normal)
+		for _, c := range r.Tail.Causes {
+			fmt.Fprintf(w, "    %-26s %6d dominant  %10.3fms attributed\n",
+				c.Cause, c.Dominant, float64(c.TotalUS)/1e3)
+		}
 	}
 	return nil
 }

@@ -150,6 +150,17 @@ func (c *Client) Ping() (*PongMsg, error) {
 	return &res, nil
 }
 
+// Exemplars fetches a daemon's flight-recorder exemplars (proxies
+// and database nodes both answer), filtered by the query's
+// outcome/min-duration fields.
+func (c *Client) Exemplars(q ExemplarsMsg) (*ExemplarsResultMsg, error) {
+	var res ExemplarsResultMsg
+	if err := c.roundTrip(MsgExemplars, q, MsgExemplarsResult, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 // Metrics fetches a daemon's observability snapshot (proxies and
 // database nodes both answer).
 func (c *Client) Metrics() (*MetricsResultMsg, error) {

@@ -12,6 +12,7 @@ import (
 	"bypassyield/internal/catalog"
 	"bypassyield/internal/engine"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/sqlparse"
 )
 
@@ -20,9 +21,13 @@ import (
 //
 // Each node carries its own obs registry (served over MsgMetrics):
 // dbnode.queries / dbnode.fetches / dbnode.errors counters,
-// dbnode.tx_bytes / dbnode.rx_bytes transport totals, and — because
-// the registry is shared with the node's engine — the
-// engine.rows_scanned / engine.yield_bytes counters.
+// dbnode.tx_bytes / dbnode.rx_bytes transport totals, runtime.*
+// self-observation gauges, and — because the registry is shared with
+// the node's engine — the engine.rows_scanned / engine.yield_bytes
+// counters. A node-side flight recorder (served over MsgExemplars)
+// captures slow and failing sub-query executions; its exemplars carry
+// the trace id the proxy forwarded, so a federation-wide scrape can
+// merge proxy and node views of the same query.
 type DBNode struct {
 	// Site names the site this node serves; queries for tables owned
 	// by other sites are rejected.
@@ -43,6 +48,7 @@ type DBNode struct {
 	errs    *obs.Counter
 	txBytes *obs.Counter
 	rxBytes *obs.Counter
+	flight  *flightrec.Recorder
 }
 
 // NewDBNode builds a node serving the given site of a release. The
@@ -51,6 +57,7 @@ type DBNode struct {
 func NewDBNode(site string, db *engine.DB) *DBNode {
 	reg := obs.NewRegistry()
 	db.SetObs(reg)
+	obs.EnableRuntimeStats(reg)
 	return &DBNode{
 		Site:    site,
 		db:      db,
@@ -61,8 +68,18 @@ func NewDBNode(site string, db *engine.DB) *DBNode {
 		errs:    reg.Counter("dbnode.errors"),
 		txBytes: reg.Counter("dbnode.tx_bytes"),
 		rxBytes: reg.Counter("dbnode.rx_bytes"),
+		flight:  flightrec.New(flightrec.DefaultConfig(), reg),
 	}
 }
+
+// SetFlightConfig replaces the node's flight-recorder tuning. Call
+// before Listen.
+func (n *DBNode) SetFlightConfig(cfg flightrec.Config) {
+	n.flight = flightrec.New(cfg, n.reg)
+}
+
+// Flight returns the node's flight recorder.
+func (n *DBNode) Flight() *flightrec.Recorder { return n.flight }
 
 // Obs returns the node's registry.
 func (n *DBNode) Obs() *obs.Registry { return n.reg }
@@ -146,10 +163,15 @@ func (n *DBNode) serveConn(conn net.Conn) {
 				continue
 			}
 			span := n.continueSpan(q.TraceContext(), "dbnode.execute")
+			fc := n.flight.Begin()
+			fc.SetQuery(q.SQL, q.TraceContext().TraceID)
+			execStart := fc.Now()
 			res, err := n.execute(q.SQL)
+			fc.SetMediation(fc.Now()-execStart, 0, 0)
 			if err != nil {
 				span.End(obs.A("error", err.Error()))
 				n.sendErr(conn, err)
+				n.flight.Finish(fc, err)
 				continue
 			}
 			n.queries.Add(1)
@@ -157,7 +179,10 @@ func (n *DBNode) serveConn(conn net.Conn) {
 			// node's span log line is already flushed.
 			span.End(obs.A("bytes", strconv.FormatInt(res.Bytes, 10)),
 				obs.A("rows", strconv.FormatInt(res.Rows, 10)))
+			encStart := fc.Now()
 			n.send(conn, MsgResult, res)
+			fc.SetEncodeUS(fc.Now() - encStart)
+			n.flight.Finish(fc, nil)
 		case MsgFetch:
 			var f FetchMsg
 			if err := Decode(body, &f); err != nil {
@@ -180,6 +205,13 @@ func (n *DBNode) serveConn(conn net.Conn) {
 				Source:   "bydbd:" + n.Site,
 				Snapshot: n.reg.Snapshot(),
 			})
+		case MsgExemplars:
+			var q ExemplarsMsg
+			if err := Decode(body, &q); err != nil {
+				n.sendErr(conn, err)
+				continue
+			}
+			n.send(conn, MsgExemplarsResult, serveExemplars("bydbd:"+n.Site, n.flight, q))
 		case MsgPing:
 			n.send(conn, MsgPong, PongMsg{Site: n.Site})
 		default:

@@ -54,10 +54,15 @@ const (
 	MsgPing MsgType = 12
 	// MsgPong answers a ping.
 	MsgPong MsgType = 13
+	// MsgExemplars asks a daemon for its flight-recorder exemplars,
+	// optionally filtered by outcome or minimum duration.
+	MsgExemplars MsgType = 14
+	// MsgExemplarsResult returns the matching exemplars.
+	MsgExemplarsResult MsgType = 15
 
 	// maxMsgType is the highest assigned message type; ReadFrame
 	// rejects anything beyond it.
-	maxMsgType = MsgPong
+	maxMsgType = MsgExemplarsResult
 )
 
 // String names a message type for metric labels and diagnostics.
@@ -89,6 +94,10 @@ func (t MsgType) String() string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgExemplars:
+		return "exemplars"
+	case MsgExemplarsResult:
+		return "exemplars_result"
 	default:
 		return "unknown"
 	}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bypassyield/internal/core"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/obs/ledger"
 )
 
@@ -158,6 +159,34 @@ type DecisionsResultMsg struct {
 	OptBoundBytes int64 `json:"optbound_bytes,omitempty"`
 	// CompetitiveRatioMilli is 1000 · realized WAN / bound.
 	CompetitiveRatioMilli int64 `json:"competitive_ratio_milli,omitempty"`
+}
+
+// ExemplarsMsg requests flight-recorder exemplars. Empty filter
+// fields match everything; Limit ≤ 0 selects the server default.
+type ExemplarsMsg struct {
+	// Outcome filters by "slow", "error", "degraded", or "normal".
+	Outcome string `json:"outcome,omitempty"`
+	// MinUS keeps only exemplars at least this slow (microseconds).
+	MinUS int64 `json:"min_us,omitempty"`
+	// Limit caps the returned exemplars (most recent kept).
+	Limit int `json:"limit,omitempty"`
+}
+
+// ExemplarsResultMsg returns matching exemplars plus the recorder's
+// capture statistics.
+type ExemplarsResultMsg struct {
+	// Source identifies the answering daemon ("byproxyd" or
+	// "bydbd:<site>").
+	Source string `json:"source"`
+	// Observed counts every finished query the recorder saw.
+	Observed uint64 `json:"observed"`
+	// Published counts exemplars ever published (records older than
+	// the ring capacity have been overwritten).
+	Published uint64 `json:"published"`
+	// ThresholdUS is the recorder's slow-capture threshold.
+	ThresholdUS int64 `json:"threshold_us"`
+	// Exemplars are the matching records, oldest first.
+	Exemplars []flightrec.Exemplar `json:"exemplars"`
 }
 
 // StatsResultMsg returns the proxy's state: the paper's flow

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"bypassyield/internal/obs"
 )
@@ -36,11 +37,12 @@ func (c PoolConfig) sanitize() PoolConfig {
 // poolMetrics carries the registry handles shared by every site's
 // pool; labels are site names.
 type poolMetrics struct {
-	active *obs.GaugeFamily   // wire.pool_active: checked-out conns
-	idle   *obs.GaugeFamily   // wire.pool_idle: parked conns
-	waits  *obs.CounterFamily // wire.pool_waits: Gets that blocked on MaxActive
-	dials  *obs.CounterFamily // wire.node_dials
-	drops  *obs.CounterFamily // wire.node_conn_drops
+	active  *obs.GaugeFamily     // wire.pool_active: checked-out conns
+	idle    *obs.GaugeFamily     // wire.pool_idle: parked conns
+	waits   *obs.CounterFamily   // wire.pool_waits: Gets that blocked on MaxActive
+	waitDur *obs.HistogramFamily // wire.pool_wait_us: time blocked per Get
+	dials   *obs.CounterFamily   // wire.node_dials
+	drops   *obs.CounterFamily   // wire.node_conn_drops
 }
 
 // pool is a bounded per-site connection pool. Reuse is MRU — the most
@@ -76,9 +78,13 @@ func newPool(site, addr string, cfg PoolConfig, dial func(site, addr string) (ne
 // connections are checked out.
 func (p *pool) Get(fresh bool) (conn net.Conn, reused bool, err error) {
 	p.mu.Lock()
-	for p.active >= p.cfg.MaxActive && !p.closed {
-		p.m.waits.Add(p.site, 1)
-		p.cond.Wait()
+	if p.active >= p.cfg.MaxActive && !p.closed {
+		start := time.Now()
+		for p.active >= p.cfg.MaxActive && !p.closed {
+			p.m.waits.Add(p.site, 1)
+			p.cond.Wait()
+		}
+		p.m.waitDur.Observe(p.site, time.Since(start).Microseconds())
 	}
 	if p.closed {
 		p.mu.Unlock()

@@ -15,6 +15,7 @@ import (
 	"bypassyield/internal/engine"
 	"bypassyield/internal/federation"
 	"bypassyield/internal/obs"
+	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/obs/ledger"
 	"bypassyield/internal/sqlparse"
 )
@@ -75,8 +76,20 @@ const DefaultMaxInflight = 64
 //	wire.pool_active                   per-site node conns checked out
 //	wire.pool_idle                     per-site node conns parked for reuse
 //	wire.pool_waits                    per-site pool Gets that had to block
+//	wire.pool_wait_us                  per-site histogram of time blocked
+//	                                   waiting for a pool slot
 //	wire.fetch_coalesced               object fetches served by another
 //	                                   in-flight fetch (single-flight dedup)
+//
+// The proxy also runs an always-on flight recorder (see
+// internal/obs/flightrec): every query that errors, is served
+// degraded, or breaches the recorder's latency threshold publishes a
+// full exemplar — mediation phase timings, per-leg wire timings,
+// decision record, breaker states, runtime snapshot, and a computed
+// critical-path attribution — served over MsgExemplars and exported
+// as obs.exemplars / obs.tail_cause / obs.tail_cause_us counters.
+// The registry additionally carries runtime.* self-observation gauges
+// refreshed at every Snapshot.
 type Proxy struct {
 	mu         sync.Mutex // guards closed
 	med        *federation.Mediator
@@ -128,7 +141,10 @@ type Proxy struct {
 	poolActive   *obs.GaugeFamily
 	poolIdle     *obs.GaugeFamily
 	poolWaits    *obs.CounterFamily
+	poolWaitDur  *obs.HistogramFamily
 	coalesced    *obs.CounterFamily
+
+	flight *flightrec.Recorder
 }
 
 // NewProxy builds a proxy around a mediator. nodeAddrs maps each site
@@ -178,12 +194,39 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 	p.poolActive = reg.GaugeFamily("wire.pool_active")
 	p.poolIdle = reg.GaugeFamily("wire.pool_idle")
 	p.poolWaits = reg.CounterFamily("wire.pool_waits")
+	p.poolWaitDur = reg.HistogramFamily("wire.pool_wait_us", obs.DefaultLatencyBuckets())
 	p.coalesced = reg.CounterFamily("wire.fetch_coalesced")
+	obs.EnableRuntimeStats(reg)
+	p.buildFlight(flightrec.DefaultConfig())
 	p.buildBreakers()
 	p.buildPools()
 	med.SetHealth(p)
 	return p
 }
+
+// buildFlight (re)creates the flight recorder; the annotate hook
+// stamps every exemplar with the per-site breaker positions so a tail
+// inspection sees the federation's health at capture time.
+func (p *Proxy) buildFlight(cfg flightrec.Config) {
+	p.flight = flightrec.New(cfg, p.reg)
+	p.flight.SetAnnotate(func(e *flightrec.Exemplar) {
+		for site, br := range p.breakers {
+			e.Breakers = append(e.Breakers, flightrec.BreakerRec{Site: site, State: br.State().String()})
+		}
+		sort.Slice(e.Breakers, func(i, j int) bool { return e.Breakers[i].Site < e.Breakers[j].Site })
+	})
+}
+
+// SetFlightConfig replaces the flight recorder's capture tuning
+// (threshold, ring capacity, reservoir). Call before Listen.
+func (p *Proxy) SetFlightConfig(cfg flightrec.Config) { p.buildFlight(cfg) }
+
+// SetExemplarSink attaches a sink receiving every published exemplar
+// (byproxyd -exemplar-out). Call before Listen.
+func (p *Proxy) SetExemplarSink(s flightrec.Sink) { p.flight.SetSink(s) }
+
+// Flight returns the proxy's flight recorder.
+func (p *Proxy) Flight() *flightrec.Recorder { return p.flight }
 
 // buildPools creates one bounded connection pool per configured node
 // site. The map is never mutated afterwards, so lock-free reads are
@@ -191,11 +234,12 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 func (p *Proxy) buildPools() {
 	p.pools = make(map[string]*pool, len(p.nodeAddrs))
 	m := poolMetrics{
-		active: p.poolActive,
-		idle:   p.poolIdle,
-		waits:  p.poolWaits,
-		dials:  p.nodeDials,
-		drops:  p.nodeDrops,
+		active:  p.poolActive,
+		idle:    p.poolIdle,
+		waits:   p.poolWaits,
+		waitDur: p.poolWaitDur,
+		dials:   p.nodeDials,
+		drops:   p.nodeDrops,
 	}
 	dial := func(site, addr string) (net.Conn, error) { return p.dialer(site, addr) }
 	for site, addr := range p.nodeAddrs {
@@ -463,17 +507,23 @@ func (p *Proxy) serveConn(conn net.Conn) {
 				// id so ledger records stay correlated.
 				ctx.TraceID = q.TraceContext().TraceID
 			}
-			res, err := p.handleQuery(q.SQL, ctx)
+			fc := p.flight.Begin()
+			fc.SetQuery(q.SQL, ctx.TraceID)
+			res, err := p.handleQuery(q.SQL, ctx, fc)
 			if err != nil {
 				span.End(obs.A("error", err.Error()))
 				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
+				p.flight.Finish(fc, err)
 				continue
 			}
 			// End before sending so span logs are complete once the
 			// client observes the result.
 			span.End(obs.A("decisions", strconv.Itoa(len(res.Decisions))),
 				obs.A("yield", strconv.FormatInt(res.Bytes, 10)))
+			encStart := fc.Now()
 			p.send(conn, MsgResult, res)
+			fc.SetEncodeUS(fc.Now() - encStart)
+			p.flight.Finish(fc, nil)
 		case MsgStats:
 			p.send(conn, MsgStatsResult, p.stats())
 		case MsgDecisions:
@@ -488,6 +538,13 @@ func (p *Proxy) serveConn(conn net.Conn) {
 				Source:   "byproxyd",
 				Snapshot: p.reg.Snapshot(),
 			})
+		case MsgExemplars:
+			var q ExemplarsMsg
+			if err := Decode(body, &q); err != nil {
+				p.send(conn, MsgError, ErrorMsg{Message: err.Error()})
+				continue
+			}
+			p.send(conn, MsgExemplarsResult, serveExemplars("byproxyd", p.flight, q))
 		case MsgPing:
 			p.send(conn, MsgPong, PongMsg{Site: "byproxyd"})
 		default:
@@ -515,7 +572,7 @@ type leg struct {
 // verdicts, then every WAN leg fans out concurrently across sites.
 // The result frame is sent only after all legs settle, so a client's
 // response still reflects its query's complete protocol exchange.
-func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error) {
+func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext, fc *flightrec.Capture) (*ResultMsg, error) {
 	p.querySem <- struct{}{}
 	defer func() { <-p.querySem }()
 	tel := p.med.Telemetry()
@@ -536,6 +593,8 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 	}
 	mspan.End(obs.A("yield", strconv.FormatInt(rep.Result.Bytes, 10)),
 		obs.A("rows", strconv.FormatInt(rep.Result.Rows, 10)))
+	fc.SetMediation(rep.ExecUS, rep.LockWaitUS, rep.DecideUS)
+	fc.SetDegraded(rep.Degraded)
 	res := &ResultMsg{
 		Columns: rep.Result.Columns,
 		Rows:    rep.Result.Rows,
@@ -570,6 +629,7 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 			Failed:   d.Failed,
 			Reason:   d.Reason,
 		})
+		fc.Decision(string(d.Object), d.Site, verdict, d.Reason, d.Yield)
 		// One proxy.decide span per object access: summing the yield
 		// attrs over a trace reproduces the query's D_A contribution
 		// (uniform net costs).
@@ -605,7 +665,7 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 			}
 		}
 	}
-	p.runLegs(legs, ctx, res)
+	p.runLegs(legs, ctx, res, fc)
 	return res, nil
 }
 
@@ -614,7 +674,7 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext) (*ResultMsg, error
 // the connection pools). Leg failures do not fail the query — the
 // mediator already accounted the decisions over logical sizes — but
 // they are logged and annotated on the result as transport errors.
-func (p *Proxy) runLegs(legs []leg, ctx obs.TraceContext, res *ResultMsg) {
+func (p *Proxy) runLegs(legs []leg, ctx obs.TraceContext, res *ResultMsg, fc *flightrec.Capture) {
 	if len(legs) == 0 {
 		return
 	}
@@ -631,18 +691,29 @@ func (p *Proxy) runLegs(legs []leg, ctx obs.TraceContext, res *ResultMsg) {
 		}
 		tel.LegInflight(1)
 		defer tel.LegInflight(-1)
-		var err error
+		var (
+			err  error
+			lt   legTiming
+			kind = "subquery"
+		)
+		startUS := fc.Now()
+		legStart := time.Now()
 		if l.object != "" {
-			err = p.fetchObject(l.object, l.site, ctx)
+			kind = "fetch"
+			err = p.fetchObject(l.object, l.site, ctx, &lt)
 			if err != nil {
 				p.logf("proxy: fetch %s: %v", l.object, err)
 			}
 		} else {
-			err = p.shipSubquery(l.sql, l.site, ctx)
+			err = p.shipSubquery(l.sql, l.site, ctx, &lt)
 			if err != nil {
 				p.logf("proxy: subquery to %s: %v", l.site, err)
 			}
 		}
+		// Coalesced fetches leave lt zero (another goroutine ran the
+		// wire exchange); wall time still bounds the leg's cost.
+		fc.Leg(l.site, kind, l.object, startUS, lt.poolWaitUS, lt.rpcUS,
+			time.Since(legStart).Microseconds(), err)
 		if err != nil {
 			emu.Lock()
 			res.TransportErrors = append(res.TransportErrors, SiteErrorMsg{Site: l.site, Error: err.Error()})
@@ -704,7 +775,7 @@ func isTimeout(err error) bool {
 // jittered exponential pause, up to RetryBudget extra attempts.
 // Timeouts never retry: the node is hung, and another attempt would
 // hold the leg's pool slot through another full deadline.
-func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, error) {
+func (p *Proxy) nodeRPC(site string, t MsgType, payload any, lt *legTiming) (MsgType, []byte, error) {
 	if _, hasNode := p.nodeAddrs[site]; !hasNode {
 		return 0, nil, nil
 	}
@@ -715,7 +786,7 @@ func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, e
 	}
 	delay := p.bcfg.RetryDelay
 	for attempt := 0; ; attempt++ {
-		rt, body, reused, err := p.tryNodeRPC(site, t, payload, false)
+		rt, body, reused, err := p.tryNodeRPC(site, t, payload, false, lt)
 		if err == nil {
 			br.RecordSuccess()
 			return rt, body, nil
@@ -725,7 +796,7 @@ func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, e
 			// fresh dial (draining sibling idle conns, presumed equally
 			// stale).
 			p.rpcRetries.Add(site, 1)
-			rt, body, _, err = p.tryNodeRPC(site, t, payload, true)
+			rt, body, _, err = p.tryNodeRPC(site, t, payload, true, lt)
 			if err == nil {
 				br.RecordSuccess()
 				return rt, body, nil
@@ -747,13 +818,19 @@ func (p *Proxy) nodeRPC(site string, t MsgType, payload any) (MsgType, []byte, e
 // reused reports whether the attempt ran over a pooled (rather than
 // freshly dialed) connection. fresh forces a fresh dial, discarding
 // pooled idle connections.
-func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any, fresh bool) (MsgType, []byte, bool, error) {
+func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any, fresh bool, lt *legTiming) (MsgType, []byte, bool, error) {
 	sp := p.pools[site]
+	acquireStart := time.Now()
 	conn, reused, err := sp.Get(fresh)
 	if err != nil {
 		return 0, nil, false, err
 	}
 	start := time.Now()
+	if lt != nil {
+		// Accumulated across retries: every pool acquisition is time the
+		// leg spent not talking to the network.
+		lt.poolWaitUS += start.Sub(acquireStart).Microseconds()
+	}
 	if p.rpcTimeout > 0 {
 		if err := conn.SetDeadline(start.Add(p.rpcTimeout)); err != nil {
 			p.failConn(sp, conn, site, err)
@@ -779,22 +856,38 @@ func (p *Proxy) tryNodeRPC(site string, t MsgType, payload any, fresh bool) (Msg
 		sp.Put(conn)
 	}
 	p.nodeRx.Add(int64(rn))
-	p.rpcLatency.Observe(site, time.Since(start).Microseconds())
+	rpcUS := time.Since(start).Microseconds()
+	p.rpcLatency.Observe(site, rpcUS)
+	if lt != nil {
+		lt.rpcUS = rpcUS // the successful attempt's round trip
+	}
 	return rt, body, reused, nil
+}
+
+// legTiming carries one WAN leg's pool-acquire and round-trip
+// durations out of the RPC plumbing and into the flight recorder.
+type legTiming struct {
+	poolWaitUS int64 // accumulated pool.Get time across attempts
+	rpcUS      int64 // successful attempt's write+read round trip
 }
 
 // shipSubquery sends a sub-query to the owning node and drains the
 // response, under a proxy.subquery span whose context rides in the
 // frame so the node's dbnode.execute span nests beneath it.
-func (p *Proxy) shipSubquery(sql, site string, ctx obs.TraceContext) (err error) {
+func (p *Proxy) shipSubquery(sql, site string, ctx obs.TraceContext, lt *legTiming) (err error) {
 	span := p.tracer.Child(ctx, "proxy.subquery", obs.A("site", site))
 	defer func() { endSpan(span, err) }()
 	sctx := span.Context()
+	if sctx.TraceID == 0 {
+		// Tracing disabled: still forward the client's trace id so the
+		// node's flight-recorder exemplars merge with the proxy's.
+		sctx = ctx
+	}
 	t, body, err := p.nodeRPC(site, MsgQuery, QueryMsg{
 		SQL:        sql,
 		TraceID:    obs.FormatID(sctx.TraceID),
 		ParentSpan: obs.FormatID(sctx.SpanID),
-	})
+	}, lt)
 	if err != nil || body == nil {
 		return err
 	}
@@ -813,12 +906,16 @@ func (p *Proxy) shipSubquery(sql, site string, ctx obs.TraceContext) (err error)
 // same object are single-flighted: one RPC serves every waiter
 // (counted in wire.fetch_coalesced), since a load's WAN transfer is
 // object-identical no matter which query triggered it.
-func (p *Proxy) fetchObject(object, site string, ctx obs.TraceContext) (err error) {
+func (p *Proxy) fetchObject(object, site string, ctx obs.TraceContext, lt *legTiming) (err error) {
 	span := p.tracer.Child(ctx, "proxy.fetch",
 		obs.A("object", object), obs.A("site", site))
 	defer func() { endSpan(span, err) }()
+	sctx := span.Context()
+	if sctx.TraceID == 0 {
+		sctx = ctx // forward the client's trace id even untraced
+	}
 	err, shared := p.fetchFlight.Do(object, func() error {
-		return p.fetchObjectRPC(object, site, span.Context())
+		return p.fetchObjectRPC(object, site, sctx, lt)
 	})
 	if shared {
 		p.coalesced.Add(site, 1)
@@ -828,12 +925,12 @@ func (p *Proxy) fetchObject(object, site string, ctx obs.TraceContext) (err erro
 
 // fetchObjectRPC is the wire leg of fetchObject, run once per
 // single-flight group.
-func (p *Proxy) fetchObjectRPC(object, site string, sctx obs.TraceContext) error {
+func (p *Proxy) fetchObjectRPC(object, site string, sctx obs.TraceContext, lt *legTiming) error {
 	t, body, err := p.nodeRPC(site, MsgFetch, FetchMsg{
 		Object:     object,
 		TraceID:    obs.FormatID(sctx.TraceID),
 		ParentSpan: obs.FormatID(sctx.SpanID),
-	})
+	}, lt)
 	if err != nil || body == nil {
 		return err
 	}
@@ -863,6 +960,34 @@ const (
 	DefaultDecisionLimit = 256
 	MaxDecisionLimit     = 4096
 )
+
+// Exemplar serving bounds: a filterless scrape returns the most
+// recent DefaultExemplarLimit exemplars; explicit limits are capped
+// at MaxExemplarLimit (exemplars are much larger than ledger records).
+const (
+	DefaultExemplarLimit = 64
+	MaxExemplarLimit     = 512
+)
+
+// serveExemplars answers one MsgExemplars scrape from a daemon's
+// flight recorder (shared by proxy and node). A nil recorder yields
+// an empty result, not an error.
+func serveExemplars(source string, rec *flightrec.Recorder, q ExemplarsMsg) ExemplarsResultMsg {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultExemplarLimit
+	}
+	if limit > MaxExemplarLimit {
+		limit = MaxExemplarLimit
+	}
+	return ExemplarsResultMsg{
+		Source:      source,
+		Observed:    rec.Observed(),
+		Published:   rec.Published(),
+		ThresholdUS: rec.ThresholdUS(),
+		Exemplars:   flightrec.Filter(rec.Snapshot(), q.Outcome, q.MinUS, limit),
+	}
+}
 
 // decisions serves a ledger scrape: snapshot the ring (lock-free with
 // respect to recording), apply the filter, and attach the shadow

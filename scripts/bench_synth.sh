@@ -37,7 +37,12 @@ trap cleanup EXIT INT TERM
 
 # -wait absorbs daemon startup (data synthesis takes a moment); the
 # steady scenario is 100 rps for 10s against the EDR release.
-"$BIN"/bysynth -addr $PROXY_ADDR -scenario steady -wait 30s -out "$OUT"
+# -slo-fail makes the run a real perf gate: below SLO_FAIL attainment
+# of the default 500ms objective, bysynth (and so CI) exits nonzero —
+# after writing the full report, which carries the flight recorder's
+# tail attribution explaining which phase or site ate the budget.
+"$BIN"/bysynth -addr $PROXY_ADDR -scenario steady -wait 30s -out "$OUT" \
+    -slo-fail "${SLO_FAIL:-0.90}"
 
 echo
 cat "$OUT"
