@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-proxy bench-synth chaos fuzz-smoke
+.PHONY: all build vet test race bench-smoke bench-proxy bench-synth chaos crash fuzz-smoke
 
 all: vet test
 
@@ -28,10 +28,31 @@ chaos:
 	CHAOS_EXEMPLARS_OUT=$(CURDIR)/chaos_exemplars.jsonl \
 		$(GO) test -race -v -run 'TestChaosSynth' ./cmd/bysynth/
 
-# A bounded fuzz of the frame reader: corrupt headers and truncated
-# bodies must never panic or over-allocate.
+# Kill-tolerant recovery suite under the race detector: a real
+# byproxyd subprocess is SIGKILLed mid-workload (and deterministically
+# crashed mid-WAL-write via -persist-faults), then restarted on the
+# same -state-dir; it must come back warm with Σ ledger yields = D_A
+# and zero WAN refetches for the persisted cache, and corrupted
+# snapshot/WAL tails must fall back to the previous generation. Every
+# startup's recovery report is appended to crash_recovery.log
+# (archived by CI).
+crash:
+	rm -f crash_recovery.log
+	CRASH_RECOVERY_LOG=$(CURDIR)/crash_recovery.log \
+		$(GO) test -race -v -count=1 \
+		-run 'TestKillRecoveryEndToEnd|TestFaultInjectedTornWALRecovery|TestCorruptTailFallsBackAcrossRestart' \
+		./cmd/byproxyd/
+	$(GO) test -race -v -count=1 -run 'TestBreakerRestartCycle' ./internal/wire/
+	cat crash_recovery.log
+
+# A bounded fuzz of the decoders that face untrusted or crash-torn
+# bytes: the wire frame reader, the persistence WAL walker, and the
+# snapshot frame + policy-blob decoders must never panic or
+# over-allocate.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./internal/persist/
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/persist/
 
 # A fast allocation/throughput smoke over the hot paths: the obs
 # registry (must stay allocation-free) and one end-to-end experiment.

@@ -95,8 +95,48 @@ func renderFederation(w io.Writer, views []nodeView, top int) {
 	}
 
 	renderInvariant(w, views)
+	renderPersistence(w, views)
 	renderFederationCauses(w, views)
 	renderMergedTraces(w, views, top)
+}
+
+// renderPersistence reports each proxy's durability plane — warm vs
+// cold start, recovery cost, and the snapshot/WAL counters — for
+// proxies running with -state-dir (others carry no persist metrics).
+func renderPersistence(w io.Writer, views []nodeView) {
+	printed := false
+	for _, v := range views {
+		if v.Stats == nil {
+			continue
+		}
+		present := false
+		var warm int64
+		for _, g := range v.Snapshot.Gauges {
+			if g.Name == "persist.warm_start" {
+				present, warm = true, g.Value
+			}
+		}
+		if !present {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "\npersistence (per proxy):")
+			printed = true
+		}
+		mode := "cold start"
+		if warm == 1 {
+			mode = "warm start"
+		}
+		fmt.Fprintf(w, "  %-24s %s  recovery %dms  replayed %d  snapshots %d (clock %d)  wal records %d  torn tails %d  fallbacks %d\n",
+			v.Addr, mode,
+			v.Snapshot.GaugeValue("persist.recovery_ms"),
+			v.Snapshot.GaugeValue("persist.recovered_records"),
+			v.Snapshot.CounterValue("persist.snapshots", ""),
+			v.Snapshot.GaugeValue("persist.snapshot_clock"),
+			v.Snapshot.CounterValue("persist.wal_records", ""),
+			v.Snapshot.CounterValue("persist.wal_torn_tails", ""),
+			v.Snapshot.CounterValue("persist.snapshot_fallbacks", ""))
+	}
 }
 
 // renderInvariant checks the paper's accounting identity on every

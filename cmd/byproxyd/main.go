@@ -7,7 +7,8 @@
 //
 //	byproxyd -release edr -addr :7100 -policy rate-profile -cache-pct 0.4 \
 //	  -nodes "photo.sdss.org=localhost:7101,spec.sdss.org=localhost:7102" \
-//	  -http :7180 -trace-out proxy-spans.jsonl -ledger 4096 -ledger-out decisions.jsonl
+//	  -http :7180 -trace-out proxy-spans.jsonl -ledger 4096 -ledger-out decisions.jsonl \
+//	  -state-dir ./state -wal-sync
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"bypassyield/internal/obs"
 	"bypassyield/internal/obs/flightrec"
 	"bypassyield/internal/obs/ledger"
+	"bypassyield/internal/persist"
 	"bypassyield/internal/wire"
 )
 
@@ -66,6 +68,12 @@ type options struct {
 
 	maxInflight int // concurrently pipelined client queries
 	poolSize    int // per-site connection-pool bound
+
+	stateDir      string        // crash-safe state directory ("" disables persistence)
+	snapInterval  time.Duration // periodic snapshot cadence
+	walSync       bool          // fsync the WAL after every record
+	recoveryLog   string        // append the startup recovery report here ("" disables)
+	persistFaults string        // deterministic crash points in the writers (tests only)
 }
 
 func main() {
@@ -100,6 +108,11 @@ func main() {
 	flag.StringVar(&o.exemplarOut, "exemplar-out", "", "append every published exemplar as JSONL to this file")
 	flag.IntVar(&o.maxInflight, "max-inflight", wire.DefaultMaxInflight, "concurrently pipelined client queries (1 serializes the pipeline)")
 	flag.IntVar(&o.poolSize, "pool-size", wire.DefaultPoolSize, "per-site node connection pool bound (max checked-out conns)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "persist cache/policy/accounting state here and warm-restart from it (empty disables)")
+	flag.DurationVar(&o.snapInterval, "snapshot-interval", persist.DefaultSnapshotInterval, "periodic state snapshot cadence")
+	flag.BoolVar(&o.walSync, "wal-sync", false, "fsync the write-ahead log after every access record (durable before the result frame, one fsync per access)")
+	flag.StringVar(&o.recoveryLog, "recovery-log", "", "append the startup recovery report to this file")
+	flag.StringVar(&o.persistFaults, "persist-faults", "", "arm deterministic crash points in the persistence writers, e.g. 'wal.append.mid-record:after=40' (crash tests only)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -128,6 +141,7 @@ func run(o options) error {
 // decision-ledger sink.
 type daemon struct {
 	proxy     *wire.Proxy
+	persist   *persist.Manager // nil when -state-dir is unset
 	http      *obs.HTTPServer  // nil when -http is unset
 	sink      *obs.JSONL       // nil when -trace-out is unset
 	ledger    *ledger.JSONL    // nil when -ledger-out is unset
@@ -137,11 +151,17 @@ type daemon struct {
 	desc      string
 }
 
-// Close shuts the listener, the HTTP plane, and — last, so in-flight
-// spans and decision records still land — flushes and closes the
-// JSONL logs.
+// Close shuts the listener (draining in-flight queries), flushes the
+// final state snapshot, closes the HTTP plane, and — last, so
+// in-flight spans and decision records still land — flushes and
+// closes the JSONL logs.
 func (d *daemon) Close() error {
 	err := d.proxy.Close()
+	if d.persist != nil {
+		if perr := d.persist.Close(); err == nil {
+			err = perr
+		}
+	}
 	if d.plan != nil {
 		d.plan.Stop()
 	}
@@ -290,8 +310,46 @@ func start(o options) (*daemon, error) {
 		}
 		d.http = srv
 	}
+	// Recover and attach persistent state before the listener opens:
+	// the first client query must already see the warm cache and the
+	// journal must capture every access.
+	if o.stateDir != "" {
+		faults, err := persist.ParseFaults(o.persistFaults)
+		if err == nil {
+			d.persist, err = persist.Open(persist.Config{
+				Dir:              o.stateDir,
+				SnapshotInterval: o.snapInterval,
+				SyncEveryRecord:  o.walSync,
+				Obs:              reg,
+				Faults:           faults,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "byproxyd: "+format+"\n", args...)
+				},
+			}, med)
+		}
+		if err == nil && o.recoveryLog != "" {
+			err = appendRecoveryLog(o.recoveryLog, d.persist.Recovery())
+		}
+		if err != nil {
+			if d.persist != nil {
+				d.persist.Close()
+			}
+			if d.http != nil {
+				d.http.Close()
+			}
+			d.sink.Close()
+			d.ledger.Close()
+			d.exemplars.Close()
+			return nil, err
+		}
+	} else if o.persistFaults != "" {
+		return nil, fmt.Errorf("-persist-faults requires -state-dir")
+	}
 	bound, err := proxy.Listen(o.addr)
 	if err != nil {
+		if d.persist != nil {
+			d.persist.Close()
+		}
 		if d.http != nil {
 			d.http.Close()
 		}
@@ -304,4 +362,18 @@ func start(o options) (*daemon, error) {
 	d.desc = fmt.Sprintf("release %s, policy %s, cache %.0f%% (%d MB), granularity %s, %d nodes",
 		s.Name, pol.Name(), o.cachePct*100, capacity>>20, g, len(nodeAddrs))
 	return d, nil
+}
+
+// appendRecoveryLog appends one recovery report line so operators (and
+// the CI crash job) keep a history of what each restart restored.
+func appendRecoveryLog(path string, rep persist.RecoveryReport) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintf(f, "%s recovery: %s\n", time.Now().UTC().Format(time.RFC3339), rep)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -204,6 +204,29 @@ func (t *Telemetry) RecordAccess(policy string, obj Object, yield int64, d Decis
 	}
 }
 
+// SeedRestored re-publishes the cumulative counters that mirror a
+// restored Accounting, so a registry snapshot keeps reconciling with
+// the mediator's flow ledger (core.yield_bytes = Acct.YieldBytes =
+// D_A, the invariant byinspect -federation checks) across a warm
+// restart. Only the lifetime counters RecordAccess drives are seeded:
+// sliding-window rates, latency histograms, and the degraded-mode
+// site families describe live traffic and restart empty (Accounting
+// cannot apportion historical hits between free and forced serves
+// anyway — both charge the Hit flow rules).
+func (t *Telemetry) SeedRestored(policy string, a Accounting) {
+	if t == nil {
+		return
+	}
+	t.decisions.Add(policy+"/"+Hit.String(), a.Hits)
+	t.decisions.Add(policy+"/"+Bypass.String(), a.Bypasses)
+	t.decisions.Add(policy+"/"+Load.String(), a.Loads)
+	t.accesses.Add(a.Accesses)
+	t.yieldBytes.Add(a.YieldBytes)
+	t.cacheBytes.Add(a.CacheBytes)
+	t.bypassBytes.Add(a.BypassBytes)
+	t.fetchBytes.Add(a.FetchBytes)
+}
+
 // RecordForced charges one forced serve-from-cache: the owning site
 // was unavailable, so the cached (possibly stale) copy was served.
 // The byte flows follow the Hit rules — the bytes really came from

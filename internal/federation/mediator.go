@@ -91,6 +91,10 @@ type Mediator struct {
 	// Decision audit trail (nil-safe no-ops when not configured).
 	ledger  *ledger.Ledger
 	shadows *core.ShadowSet
+
+	// journal, when attached, receives one record per accounted access
+	// under the decision lock (crash-safe persistence, see state.go).
+	journal Journal
 }
 
 // AccessDecision records the cache's handling of one object access
@@ -381,6 +385,9 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 		if m.ledger != nil {
 			m.ledger.Record(core.DecisionRecordFor(m.t, m.cfg.Policy, traceID, obj, acc.Yield, d))
 		}
+		if m.journal != nil {
+			m.journal.JournalAccess(JournalRecord{Kind: JournalAccess, T: m.t, Object: obj.ID, Yield: acc.Yield, Decision: d})
+		}
 		m.objsTouched.Add(1)
 		rep.Decisions = append(rep.Decisions, AccessDecision{
 			Object:   acc.Object,
@@ -431,6 +438,9 @@ func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64
 			rec.Stale = true
 			m.ledger.Record(rec)
 		}
+		if m.journal != nil {
+			m.journal.JournalAccess(JournalRecord{Kind: JournalForced, T: m.t, Object: obj.ID, Yield: yield, Decision: core.Hit})
+		}
 		rep.Decisions = append(rep.Decisions, AccessDecision{
 			Object:   obj.ID,
 			Site:     obj.Site,
@@ -458,6 +468,9 @@ func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64
 			rec.Policy = m.cfg.Policy.Name()
 		}
 		m.ledger.Record(rec)
+	}
+	if m.journal != nil {
+		m.journal.JournalAccess(JournalRecord{Kind: JournalFailed, T: m.t, Object: obj.ID, Yield: yield})
 	}
 	// The client never receives this leg's bytes: shrink the result so
 	// delivered bytes still equal the accounting's D_A increment.

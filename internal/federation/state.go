@@ -1,0 +1,244 @@
+package federation
+
+// Crash-safe persistence support: the mediator's decision state as a
+// serializable value (State), a journal of per-access mutations
+// emitted under the decision lock (Journal), and the replay entry
+// point that reapplies journal records over a restored State. The
+// persist manager (internal/persist) owns the files; this file owns
+// the consistency boundary.
+//
+// The boundary is the decision lock m.mu. Every mutation of the
+// mediator's sequential state — clock, accounting, policy, journal
+// emission — happens under it, so a State captured under the lock
+// sits exactly between two accesses: Σ decision yields = D_A holds in
+// the captured accounting, and the journal rotated inside the same
+// critical section (SnapshotState's barrier) partitions all records
+// strictly into before-snapshot and after-snapshot. Recovery restores
+// the State and replays the after-snapshot records; the invariant
+// holds again at every replayed step.
+
+import (
+	"fmt"
+
+	"bypassyield/internal/core"
+)
+
+// JournalKind classifies one journaled state mutation.
+type JournalKind uint8
+
+const (
+	// JournalAccess is a policy-decided access (the normal path).
+	JournalAccess JournalKind = iota + 1
+	// JournalForced is a degraded-mode serve-from-cache: the owning
+	// site was down and the cached copy was force-served as a hit.
+	JournalForced
+	// JournalFailed is a degraded-mode dropped leg: site down, object
+	// not cached, nothing delivered and nothing charged.
+	JournalFailed
+)
+
+// JournalRecord is one state mutation: everything replay needs to
+// reproduce the access against a restored mediator. The object is
+// referenced by id — the object universe is immutable and rebuilt
+// from the schema on restart.
+type JournalRecord struct {
+	// Kind classifies the record.
+	Kind JournalKind
+	// T is the mediator clock (query sequence number) at the access.
+	T int64
+	// Object is the accessed object's id.
+	Object core.ObjectID
+	// Yield is the access's yield share in bytes.
+	Yield int64
+	// Decision is the charged decision (Hit for Forced records;
+	// meaningless for Failed).
+	Decision core.Decision
+}
+
+// Journal receives one record per accounted access, called under the
+// mediator's decision lock — implementations must be fast, must not
+// block on the network, and must never call back into the mediator.
+type Journal interface {
+	JournalAccess(rec JournalRecord)
+}
+
+// State is the mediator's full sequential decision state at one
+// consistency boundary. Schema, Granularity, PolicyName, and Capacity
+// guard a restore against a reconfigured daemon: any mismatch rejects
+// the snapshot (cold start) rather than adopting state the running
+// configuration cannot honor.
+type State struct {
+	// Clock is the query clock t at the boundary.
+	Clock int64
+	// Schema is the federated release name.
+	Schema string
+	// Granularity is the object granularity.
+	Granularity Granularity
+	// PolicyName names the cache policy ("none" when caching is
+	// disabled).
+	PolicyName string
+	// Capacity is the policy's capacity in bytes (0 for "none").
+	Capacity int64
+	// Acct is the flow accounting at the boundary.
+	Acct core.Accounting
+	// PolicyBlob is the policy's serialized decision state (see
+	// core.StateSnapshotter); nil when the policy cannot snapshot, in
+	// which case a restore recovers accounting but the cache restarts
+	// cold.
+	PolicyBlob []byte
+}
+
+// SetJournal attaches (or, with nil, detaches) the mutation journal.
+func (m *Mediator) SetJournal(j Journal) {
+	m.mu.Lock()
+	m.journal = j
+	m.mu.Unlock()
+}
+
+// SnapshotState captures the mediator's State under the decision
+// lock. The optional barrier runs while the lock is still held: the
+// persist manager rotates its WAL inside it, so no journal record
+// can land between the state capture and the rotation — the captured
+// State and the fresh WAL form an exact prefix/suffix partition of
+// the access stream. The barrier must not call back into the
+// mediator; its error aborts the snapshot.
+func (m *Mediator) SnapshotState(barrier func(State) error) (State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := State{
+		Clock:       m.t,
+		Schema:      m.cfg.Schema.Name,
+		Granularity: m.cfg.Granularity,
+		PolicyName:  "none",
+		Acct:        m.acct,
+	}
+	if m.cfg.Policy != nil {
+		st.PolicyName = m.cfg.Policy.Name()
+		st.Capacity = m.cfg.Policy.Capacity()
+		if ss, ok := m.cfg.Policy.(core.StateSnapshotter); ok {
+			st.PolicyBlob = ss.SnapshotState()
+		}
+	}
+	if barrier != nil {
+		if err := barrier(st); err != nil {
+			return State{}, err
+		}
+	}
+	return st, nil
+}
+
+// RestoreState adopts a previously captured State: configuration
+// guards first (schema, granularity, policy name and capacity — any
+// mismatch is an error and the mediator is left untouched), then the
+// policy blob, clock, and accounting, and finally the telemetry
+// counters are seeded so a registry snapshot still reconciles with
+// the restored accounting (core.yield_bytes = Acct.YieldBytes = D_A).
+// A nil PolicyBlob restores accounting with a cold cache. Call before
+// serving traffic; the decision ledger ring and shadow baselines are
+// not part of State and restart empty (they are windowed audit
+// views, not accounting).
+func (m *Mediator) RestoreState(st State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st.Schema != m.cfg.Schema.Name {
+		return fmt.Errorf("federation: snapshot for schema %q, mediator serves %q", st.Schema, m.cfg.Schema.Name)
+	}
+	if st.Granularity != m.cfg.Granularity {
+		return fmt.Errorf("federation: snapshot at granularity %s, mediator configured for %s", st.Granularity, m.cfg.Granularity)
+	}
+	name, capacity := "none", int64(0)
+	if m.cfg.Policy != nil {
+		name = m.cfg.Policy.Name()
+		capacity = m.cfg.Policy.Capacity()
+	}
+	if st.PolicyName != name {
+		return fmt.Errorf("federation: snapshot for policy %q, mediator runs %q", st.PolicyName, name)
+	}
+	if st.Capacity != capacity {
+		return fmt.Errorf("federation: snapshot at capacity %d, mediator configured for %d", st.Capacity, capacity)
+	}
+	if len(st.PolicyBlob) > 0 && m.cfg.Policy != nil {
+		ss, ok := m.cfg.Policy.(core.StateSnapshotter)
+		if !ok {
+			return fmt.Errorf("federation: policy %q cannot restore persisted state", name)
+		}
+		if err := ss.RestoreState(st.PolicyBlob); err != nil {
+			return err
+		}
+	}
+	m.t = st.Clock
+	m.acct = st.Acct
+	m.queriesMet.Add(st.Acct.Queries)
+	m.tel.SeedRestored(name, st.Acct)
+	if m.cfg.Policy != nil {
+		ev := m.cfg.Policy.Evictions()
+		m.tel.RecordEvictions(name, ev)
+		m.lastEvictions = ev
+	}
+	return nil
+}
+
+// ReplayJournal reapplies one journal record over the restored state.
+// The policy re-decides the access to evolve its internal state, but
+// the accounting charges the RECORDED decision — that is what the
+// client was actually served before the crash. For deterministic
+// policies restored from an exact snapshot the two always agree;
+// diverged reports a disagreement (possible only for the randomized
+// space-eff-by, whose random stream is not captured) so the persist
+// manager can surface it as a metric instead of silently rewriting
+// history. Unknown objects (a schema change between runs) and clock
+// regressions are errors; the caller should abandon replay and fall
+// back rather than apply a gapped suffix.
+func (m *Mediator) ReplayJournal(rec JournalRecord) (diverged bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obj, ok := m.objects[rec.Object]
+	if !ok {
+		return false, fmt.Errorf("federation: journal references unknown object %s", rec.Object)
+	}
+	if rec.T < m.t {
+		return false, fmt.Errorf("federation: journal record at t=%d behind mediator clock %d", rec.T, m.t)
+	}
+	if rec.T > m.t {
+		// Clock transitions reconstruct the query count: each distinct
+		// T was one mediated query.
+		dq := rec.T - m.t
+		m.t = rec.T
+		m.acct.Queries += dq
+		m.queriesMet.Add(dq)
+	}
+	policyName := "none"
+	if m.cfg.Policy != nil {
+		policyName = m.cfg.Policy.Name()
+	}
+	switch rec.Kind {
+	case JournalAccess:
+		d := core.Bypass
+		if m.cfg.Policy != nil {
+			d = m.cfg.Policy.Access(m.t, obj, rec.Yield)
+		}
+		diverged = d != rec.Decision
+		if err := core.Account(&m.acct, obj, rec.Yield, rec.Decision); err != nil {
+			return diverged, err
+		}
+		m.tel.RecordAccess(policyName, obj, rec.Yield, rec.Decision)
+	case JournalForced:
+		// The site was down and the cached copy was force-served; the
+		// policy was not consulted then and is not consulted now.
+		if err := core.Account(&m.acct, obj, rec.Yield, core.Hit); err != nil {
+			return false, err
+		}
+		m.tel.RecordForced(policyName, obj.Site, obj, rec.Yield)
+	case JournalFailed:
+		m.tel.RecordFailedLeg(obj.Site)
+	default:
+		return false, fmt.Errorf("federation: unknown journal kind %d", rec.Kind)
+	}
+	if m.cfg.Policy != nil {
+		if ev := m.cfg.Policy.Evictions(); ev > m.lastEvictions {
+			m.tel.RecordEvictions(policyName, ev-m.lastEvictions)
+			m.lastEvictions = ev
+		}
+	}
+	return diverged, nil
+}

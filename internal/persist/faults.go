@@ -1,0 +1,126 @@
+package persist
+
+// Deterministic fault points inside the persistence writers, in the
+// spirit of internal/faultnet's seeded network faults: the crash
+// harness arms a named point with a countdown, and the Nth time the
+// writer passes it the process flushes its buffered bytes and dies.
+// That turns "SIGKILL mid-write" from a race the test hopes to win
+// into a reproducible torn-tail scenario — the WAL ends exactly
+// after a header, or mid-payload, or the snapshot temp file is left
+// full-but-unrenamed.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Fault point names, placed at the torn-state boundaries the recovery
+// path must tolerate.
+const (
+	// FaultWALAfterHeader crashes after a record's length+CRC header
+	// reached the file but before any payload byte.
+	FaultWALAfterHeader = "wal.append.after-header"
+	// FaultWALMidRecord crashes with roughly half the record payload
+	// written — a torn payload under the full header.
+	FaultWALMidRecord = "wal.append.mid-record"
+	// FaultWALPreSync crashes after the full record is written but
+	// before the per-record fsync (-wal-sync) runs.
+	FaultWALPreSync = "wal.append.pre-sync"
+	// FaultSnapMidWrite crashes with half the snapshot frame in the
+	// temp file.
+	FaultSnapMidWrite = "snapshot.mid-write"
+	// FaultSnapPreRename crashes with the temp file complete and
+	// synced but never renamed into place.
+	FaultSnapPreRename = "snapshot.pre-rename"
+)
+
+// faultExitCode is the crash harness's marker exit status.
+const faultExitCode = 137
+
+// FaultPoints arms deterministic crash points. The zero value and nil
+// are both inert; Hit on an unarmed point costs one map lookup under
+// a mutex (the persistence writers already serialize).
+type FaultPoints struct {
+	mu     sync.Mutex
+	points map[string]int // remaining passes before firing
+
+	// CrashFn replaces the default crash (os.Exit(137)) — tests that
+	// cannot lose the process substitute a panic or a flag.
+	CrashFn func(point string)
+}
+
+// ParseFaults parses a fault spec: comma-separated "point:after=N"
+// clauses, e.g. "wal.append.mid-record:after=120". after=N fires on
+// the Nth pass (N ≥ 1). An empty spec returns nil (disabled).
+func ParseFaults(spec string) (*FaultPoints, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	known := map[string]bool{
+		FaultWALAfterHeader: true,
+		FaultWALMidRecord:   true,
+		FaultWALPreSync:     true,
+		FaultSnapMidWrite:   true,
+		FaultSnapPreRename:  true,
+	}
+	f := &FaultPoints{points: make(map[string]int)}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		point, arg, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("persist: fault clause %q: want point:after=N", clause)
+		}
+		if !known[point] {
+			return nil, fmt.Errorf("persist: unknown fault point %q", point)
+		}
+		val, ok := strings.CutPrefix(arg, "after=")
+		if !ok {
+			return nil, fmt.Errorf("persist: fault clause %q: want point:after=N", clause)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("persist: fault clause %q: after must be a positive integer", clause)
+		}
+		f.points[point] = n
+	}
+	return f, nil
+}
+
+// Hit passes the named point: an armed countdown decrements, and on
+// reaching zero flush (if non-nil) pushes buffered bytes to the OS —
+// so the torn state is really on disk — before the process crashes.
+func (f *FaultPoints) Hit(point string, flush func()) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	n, armed := f.points[point]
+	if armed {
+		n--
+		if n > 0 {
+			f.points[point] = n
+		} else {
+			delete(f.points, point)
+		}
+	}
+	f.mu.Unlock()
+	if !armed || n > 0 {
+		return
+	}
+	if flush != nil {
+		flush()
+	}
+	if f.CrashFn != nil {
+		f.CrashFn(point)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "persist: fault point %s fired, crashing\n", point)
+	os.Exit(faultExitCode)
+}
