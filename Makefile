@@ -33,16 +33,22 @@ chaos:
 # crashed mid-WAL-write via -persist-faults), then restarted on the
 # same -state-dir; it must come back warm with Σ ledger yields = D_A
 # and zero WAN refetches for the persisted cache, and corrupted
-# snapshot/WAL tails must fall back to the previous generation. Every
-# startup's recovery report is appended to crash_recovery.log
-# (archived by CI).
+# snapshot/WAL tails must fall back to the previous generation.
+# Snapshot format compatibility rides along: version-1 (pre-sharding)
+# snapshots restore into a sharded plane, sharded snapshots round-trip
+# at several -decision-shards counts, and a daemon restarted with a
+# different shard count rehashes its state. Every startup's recovery
+# report is appended to crash_recovery.log (archived by CI).
 crash:
 	rm -f crash_recovery.log
 	CRASH_RECOVERY_LOG=$(CURDIR)/crash_recovery.log \
 		$(GO) test -race -v -count=1 \
-		-run 'TestKillRecoveryEndToEnd|TestFaultInjectedTornWALRecovery|TestCorruptTailFallsBackAcrossRestart' \
+		-run 'TestKillRecoveryEndToEnd|TestFaultInjectedTornWALRecovery|TestCorruptTailFallsBackAcrossRestart|TestShardLayoutChangeAcrossRestart' \
 		./cmd/byproxyd/
 	$(GO) test -race -v -count=1 -run 'TestBreakerRestartCycle' ./internal/wire/
+	$(GO) test -race -v -count=1 \
+		-run 'TestShardedSnapshotRoundTrip|TestShardLayoutChangeRestores|TestV1SnapshotRestoresIntoShardedPlane' \
+		./internal/persist/
 	cat crash_recovery.log
 
 # A bounded fuzz of the decoders that face untrusted or crash-torn
@@ -73,32 +79,28 @@ bench-smoke:
 
 # The concurrent-pipeline benchmark: 8 clients over a 4-site federation
 # with ~2ms of simulated WAN latency per conn operation, serial
-# (pre-pipeline, -max-inflight 1) vs concurrent (default bounds), plus
-# the pooled frame encoder's allocation budget. Distilled into
-# BENCH_proxy.json so CI archives throughput and speedup per commit.
+# (pre-pipeline, -max-inflight 1) vs concurrent (default bounds) with
+# client-side p50/p99 latency, plus the pooled frame encoder's
+# allocation budget and the decide-phase contention matrix (decision
+# shard count × disjoint/overlapping object sets, with per-query lock
+# wait). Distilled into BENCH_proxy.json so CI archives throughput,
+# latency, and decision-plane serialization per commit.
 bench-proxy:
 	$(GO) test -run='^$$' -bench=BenchmarkProxyThroughput -benchtime=200x ./internal/wire/ | tee bench_proxy.txt
 	$(GO) test -run='^$$' -bench=BenchmarkWriteFrame -benchmem -benchtime=100000x ./internal/wire/ | tee -a bench_proxy.txt
-	awk 'BEGIN { print "{" } \
-	  /^BenchmarkProxyThroughput\/serial/ { serial = $$5 } \
-	  /^BenchmarkProxyThroughput\/concurrent8/ { conc = $$5 } \
-	  /^BenchmarkWriteFrame/ { fns = $$3; fallocs = $$7 } \
-	  END { \
-	    printf "  \"serial_qps\": %s,\n", serial; \
-	    printf "  \"concurrent8_qps\": %s,\n", conc; \
-	    printf "  \"speedup\": %.2f,\n", conc / serial; \
-	    printf "  \"write_frame\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}\n", fns, fallocs; \
-	    print "}" }' bench_proxy.txt > BENCH_proxy.json
+	$(GO) test -run='^$$' -bench=BenchmarkMediatorDecide -benchmem -benchtime=1s -cpu=8 ./internal/federation/ | tee -a bench_proxy.txt
+	awk -f scripts/bench_proxy.awk bench_proxy.txt > BENCH_proxy.json
 	rm -f bench_proxy.txt
 	cat BENCH_proxy.json
 
 # The open-loop load harness against a real two-node federation: bydbd
-# for the photo and spec sites, byproxyd mediating, bysynth driving
-# the canned steady scenario (100 rps x 10s) over the wire protocol.
-# The run report — achieved vs target RPS, p50/p99/p999 latency, SLO
-# attainment, shed/error/degraded counts, proxy byte flow by decision
-# class, tail-cause attribution — lands in BENCH_synth.json for CI to
-# archive. The run is a perf gate: attainment below SLO_FAIL (default
-# 0.90) of the 500ms objective exits nonzero and fails the build.
+# for the photo and spec sites, byproxyd mediating, bysynth
+# binary-searching the saturation knee (max RPS with p99 under the
+# 500ms objective) over the wire protocol. The report — the knee, the
+# probe trail, and the best probe's full latency/SLO/flow accounting —
+# lands in BENCH_synth.json for CI to archive. The run is a perf gate
+# twice over: attainment below SLO_FAIL (default 0.90) exits nonzero,
+# and benchgate fails the build when the knee or achieved RPS drops
+# (or p99 drifts) beyond tolerance vs the committed BENCH_synth.json.
 bench-synth:
 	sh scripts/bench_synth.sh

@@ -1,0 +1,113 @@
+// Command benchgate compares a fresh bench-synth report against the
+// committed baseline and exits nonzero when the federation got slower
+// beyond tolerance — achieved RPS or the saturation knee dropping, or
+// p99 latency drifting up. It is the CI regression threshold on
+// BENCH_synth.json: the bench job regenerates the report, then gates
+// it against the checked-in copy.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_synth.json -fresh /tmp/fresh.json \
+//	    -max-rps-drop 0.30 -max-p99-drift 1.0
+//
+// Tolerances are fractions: -max-rps-drop 0.30 fails when the fresh
+// rate lands below 70% of the baseline; -max-p99-drift 1.0 fails when
+// fresh p99 exceeds twice the baseline. They default wide because CI
+// runners are noisy — the gate is for step-change regressions (a
+// reintroduced serialization point, a broken pool), not for 5% jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bypassyield/internal/synth"
+)
+
+type limits struct {
+	// maxRPSDrop is the tolerated fractional drop in achieved RPS and
+	// in the saturation knee (0.30 = fresh may be 30% below baseline).
+	maxRPSDrop float64
+	// maxP99Drift is the tolerated fractional rise in p99 latency
+	// (1.0 = fresh p99 may be double the baseline).
+	maxP99Drift float64
+}
+
+// gate returns one violation message per regression beyond tolerance.
+// Checks degrade gracefully with report shape: the knee comparison
+// runs only when both reports carry a saturation section, so an old
+// steady-scenario baseline still gates RPS and p99.
+func gate(baseline, fresh *synth.Report, lim limits) []string {
+	var viol []string
+	if floor := baseline.AchievedRPS * (1 - lim.maxRPSDrop); baseline.AchievedRPS > 0 && fresh.AchievedRPS < floor {
+		viol = append(viol, fmt.Sprintf(
+			"achieved RPS dropped %.1f → %.1f (floor %.1f at -max-rps-drop %.2f)",
+			baseline.AchievedRPS, fresh.AchievedRPS, floor, lim.maxRPSDrop))
+	}
+	if ceil := float64(baseline.Latency.P99US) * (1 + lim.maxP99Drift); baseline.Latency.P99US > 0 && float64(fresh.Latency.P99US) > ceil {
+		viol = append(viol, fmt.Sprintf(
+			"p99 latency drifted %dµs → %dµs (ceiling %.0fµs at -max-p99-drift %.2f)",
+			baseline.Latency.P99US, fresh.Latency.P99US, ceil, lim.maxP99Drift))
+	}
+	if baseline.Saturation != nil && fresh.Saturation != nil && baseline.Saturation.KneeRPS > 0 {
+		if floor := baseline.Saturation.KneeRPS * (1 - lim.maxRPSDrop); fresh.Saturation.KneeRPS < floor {
+			viol = append(viol, fmt.Sprintf(
+				"saturation knee dropped %.0f → %.0f rps (floor %.0f at -max-rps-drop %.2f)",
+				baseline.Saturation.KneeRPS, fresh.Saturation.KneeRPS, floor, lim.maxRPSDrop))
+		}
+	}
+	return viol
+}
+
+func load(path string) (*synth.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep synth.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_synth.json", "committed baseline report")
+	freshPath := flag.String("fresh", "", "freshly generated report to gate")
+	var lim limits
+	flag.Float64Var(&lim.maxRPSDrop, "max-rps-drop", 0.30, "tolerated fractional drop in achieved RPS / saturation knee")
+	flag.Float64Var(&lim.maxP99Drift, "max-p99-drift", 1.0, "tolerated fractional rise in p99 latency")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchgate: achieved %.1f → %.1f rps, p99 %d → %dµs",
+		baseline.AchievedRPS, fresh.AchievedRPS, baseline.Latency.P99US, fresh.Latency.P99US)
+	if baseline.Saturation != nil && fresh.Saturation != nil {
+		fmt.Printf(", knee %.0f → %.0f rps", baseline.Saturation.KneeRPS, fresh.Saturation.KneeRPS)
+	}
+	fmt.Println()
+
+	viol := gate(baseline, fresh, lim)
+	for _, v := range viol {
+		fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", v)
+	}
+	if len(viol) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: within tolerance")
+}

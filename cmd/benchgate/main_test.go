@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bypassyield/internal/synth"
+)
+
+func report(rps float64, p99 int64, knee float64) *synth.Report {
+	rep := &synth.Report{AchievedRPS: rps}
+	rep.Latency.P99US = p99
+	if knee > 0 {
+		rep.Saturation = &synth.SaturationReport{KneeRPS: knee}
+	}
+	return rep
+}
+
+func TestGate(t *testing.T) {
+	lim := limits{maxRPSDrop: 0.30, maxP99Drift: 1.0}
+	base := report(200, 10_000, 400)
+
+	cases := []struct {
+		name  string
+		fresh *synth.Report
+		want  []string // substrings of expected violations, empty = pass
+	}{
+		{"identical", report(200, 10_000, 400), nil},
+		{"within tolerance", report(150, 19_000, 300), nil},
+		{"rps collapse", report(100, 10_000, 400), []string{"achieved RPS dropped"}},
+		{"p99 blowup", report(200, 30_000, 400), []string{"p99 latency drifted"}},
+		{"knee collapse", report(200, 10_000, 200), []string{"saturation knee dropped"}},
+		{"everything regressed", report(50, 50_000, 100),
+			[]string{"achieved RPS", "p99 latency", "saturation knee"}},
+		// An old steady-scenario baseline (no saturation section) still
+		// gates RPS and p99; the knee check is skipped, not failed.
+		{"no knee in fresh", report(200, 10_000, 0), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			viol := gate(base, tc.fresh, lim)
+			if len(viol) != len(tc.want) {
+				t.Fatalf("violations = %v, want %d matching %v", viol, len(tc.want), tc.want)
+			}
+			for i, want := range tc.want {
+				if !strings.Contains(viol[i], want) {
+					t.Fatalf("violation %d = %q, want substring %q", i, viol[i], want)
+				}
+			}
+		})
+	}
+
+	// Baseline without a knee never triggers the knee check either.
+	if viol := gate(report(200, 10_000, 0), report(200, 10_000, 50), lim); len(viol) != 0 {
+		t.Fatalf("kneeless baseline produced violations: %v", viol)
+	}
+	// Improvements are never violations.
+	if viol := gate(base, report(500, 2_000, 900), lim); len(viol) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", viol)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -44,6 +45,14 @@ func TestCrashHelperProcess(t *testing.T) {
 	o.snapInterval = time.Hour // only boundary snapshots: Open and Close
 	o.recoveryLog = os.Getenv("BYPROXYD_RECOVERY_LOG")
 	o.persistFaults = os.Getenv("BYPROXYD_FAULTS")
+	if s := os.Getenv("BYPROXYD_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "helper: bad BYPROXYD_SHARDS:", err)
+			os.Exit(3)
+		}
+		o.decisionShards = n
+	}
 	d, err := start(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "helper:", err)
@@ -132,8 +141,9 @@ type proxyProc struct {
 }
 
 // launchProxy re-execs the test binary as a proxy daemon and waits for
-// its bound address. faults arms -persist-faults.
-func launchProxy(t *testing.T, cn *crashNodes, stateDir, recoveryLog, faults string) *proxyProc {
+// its bound address. faults arms -persist-faults; extraEnv appends
+// helper environment (e.g. BYPROXYD_SHARDS=8).
+func launchProxy(t *testing.T, cn *crashNodes, stateDir, recoveryLog, faults string, extraEnv ...string) *proxyProc {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelperProcess$", "-test.count=1")
@@ -145,6 +155,7 @@ func launchProxy(t *testing.T, cn *crashNodes, stateDir, recoveryLog, faults str
 		"BYPROXYD_RECOVERY_LOG="+recoveryLog,
 		"BYPROXYD_FAULTS="+faults,
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -219,6 +230,16 @@ func delivered(st *wire.StatsResultMsg) int64 {
 // object is a cache hit with zero WAN refetches.
 func assertRecovered(t *testing.T, proc *proxyProc, cn *crashNodes, acked *wire.StatsResultMsg) {
 	t.Helper()
+	assertRecoveredObject(t, proc, cn, acked, "edr/photoobj",
+		"select ra, dec from photoobj where ra < 120")
+}
+
+// assertRecoveredObject is assertRecovered with a caller-chosen cached
+// object and covering query — cross-layout restarts split capacity
+// across partitions, so only objects that fit a partition's slice
+// survive the rehash and the biggest table is the wrong witness.
+func assertRecoveredObject(t *testing.T, proc *proxyProc, cn *crashNodes, acked *wire.StatsResultMsg, object, query string) {
+	t.Helper()
 	c, err := wire.Dial(proc.addr)
 	if err != nil {
 		t.Fatal(err)
@@ -250,23 +271,23 @@ func assertRecovered(t *testing.T, proc *proxyProc, cn *crashNodes, acked *wire.
 		t.Fatalf("core.yield_bytes %d != restored accounting %d", got, st.Acct.YieldBytes)
 	}
 	// The recovered cache serves hits immediately: a query over the
-	// persisted photoobj object must not fetch anything over the WAN.
+	// persisted object must not fetch anything over the WAN.
 	cached := false
 	for _, id := range st.CachedObjects {
-		if id == "edr/photoobj" {
+		if id == object {
 			cached = true
 		}
 	}
 	if !cached {
-		t.Fatalf("edr/photoobj not in recovered cache: %v", st.CachedObjects)
+		t.Fatalf("%s not in recovered cache: %v", object, st.CachedObjects)
 	}
 	before := cn.fetches()
-	res, err := c.Query("select ra, dec from photoobj where ra < 120")
+	res, err := c.Query(query)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range res.Decisions {
-		if d.Object == "edr/photoobj" && d.Decision != "hit" {
+		if d.Object == object && d.Decision != "hit" {
 			t.Fatalf("post-restart decision for cached object = %q, want hit", d.Decision)
 		}
 	}
@@ -306,6 +327,77 @@ func TestKillRecoveryEndToEnd(t *testing.T) {
 	}
 	if err := proc2.cmd.Wait(); err != nil {
 		t.Fatalf("graceful shutdown after recovery: %v", err)
+	}
+}
+
+// TestShardLayoutChangeAcrossRestart restarts the daemon with a
+// different -decision-shards than the state on disk was written under:
+// a single-partition run's snapshot must warm-start an 8-partition
+// plane through the rehash path — accounting and the persisted cache
+// intact, zero WAN refetches — and vice versa back down to one.
+func TestShardLayoutChangeAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns proxy subprocesses")
+	}
+	cn := startCrashNodes(t)
+	stateDir := filepath.Join(t.TempDir(), "state")
+	recoveryLog := crashRecoveryLog(t)
+
+	// Generation 1: single partition, graceful shutdown (the rehash
+	// path is exact for a quiescent-boundary snapshot).
+	proc := launchProxy(t, cn, stateDir, recoveryLog, "", "BYPROXYD_SHARDS=1")
+	acked, _ := crashWorkload(t, proc.addr, 24, false)
+	if acked == nil || acked.Acct.YieldBytes == 0 {
+		t.Fatalf("workload produced no accounting: %+v", acked)
+	}
+	if acked.DecisionShards != 1 {
+		t.Fatalf("generation 1 runs %d shards, want 1", acked.DecisionShards)
+	}
+	if err := proc.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// Generation 2: same state directory, 8 partitions. Capacity is
+	// split across partitions, so the big photoobj table no longer fits
+	// any single slice and restarts cold — specobj is the witness that
+	// cache contents crossed the layout change.
+	proc2 := launchProxy(t, cn, stateDir, recoveryLog, "", "BYPROXYD_SHARDS=8")
+	assertRecoveredObject(t, proc2, cn, acked, "edr/specobj",
+		"select z, zConf from specobj where z < 0.4")
+	c, err := wire.Dial(proc2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DecisionShards != 8 || len(st.ShardAccts) != 8 {
+		t.Fatalf("generation 2 reports %d shards (%d sections), want 8",
+			st.DecisionShards, len(st.ShardAccts))
+	}
+	if err := proc2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown after rehash up: %v", err)
+	}
+
+	// Generation 3: back down to one partition — the sharded snapshot's
+	// sections aggregate and rehash into the single plane. (photoobj
+	// was shed in generation 2, so specobj remains the witness.)
+	proc3 := launchProxy(t, cn, stateDir, recoveryLog, "", "BYPROXYD_SHARDS=1")
+	assertRecoveredObject(t, proc3, cn, acked, "edr/specobj",
+		"select z, zConf from specobj where z < 0.4")
+	if err := proc3.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc3.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown after rehash down: %v", err)
 	}
 }
 

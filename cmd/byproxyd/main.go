@@ -66,8 +66,9 @@ type options struct {
 	flightSample    int           // publish every Nth healthy query (0 disables)
 	exemplarOut     string        // JSONL exemplar log path ("" disables)
 
-	maxInflight int // concurrently pipelined client queries
-	poolSize    int // per-site connection-pool bound
+	maxInflight    int // concurrently pipelined client queries
+	poolSize       int // per-site connection-pool bound
+	decisionShards int // decision-plane partitions (0 = GOMAXPROCS)
 
 	stateDir      string        // crash-safe state directory ("" disables persistence)
 	snapInterval  time.Duration // periodic snapshot cadence
@@ -107,7 +108,8 @@ func main() {
 	flag.IntVar(&o.flightSample, "flight-sample", fdef.SampleEvery, "also capture every Nth healthy query as a 'normal' exemplar (0 disables)")
 	flag.StringVar(&o.exemplarOut, "exemplar-out", "", "append every published exemplar as JSONL to this file")
 	flag.IntVar(&o.maxInflight, "max-inflight", wire.DefaultMaxInflight, "concurrently pipelined client queries (1 serializes the pipeline)")
-	flag.IntVar(&o.poolSize, "pool-size", wire.DefaultPoolSize, "per-site node connection pool bound (max checked-out conns)")
+	flag.IntVar(&o.poolSize, "pool-size", wire.DefaultPoolSize, "per-site node connection pool bound (max checked-out conns, 0 = adapt to load)")
+	flag.IntVar(&o.decisionShards, "decision-shards", 0, "decision-plane partitions, rounded up to a power of two (0 = GOMAXPROCS; 1 serializes all decisions)")
 	flag.StringVar(&o.stateDir, "state-dir", "", "persist cache/policy/accounting state here and warm-restart from it (empty disables)")
 	flag.DurationVar(&o.snapInterval, "snapshot-interval", persist.DefaultSnapshotInterval, "periodic state snapshot cadence")
 	flag.BoolVar(&o.walSync, "wal-sync", false, "fsync the write-ahead log after every access record (durable before the result frame, one fsync per access)")
@@ -199,8 +201,9 @@ func start(o options) (*daemon, error) {
 		return nil, err
 	}
 	capacity := int64(o.cachePct * float64(s.TotalBytes()))
-	pol, err := core.NewPolicyByName(o.policy, capacity, o.seed)
-	if err != nil {
+	// Probe the policy name once so a typo fails at startup, not at
+	// per-shard construction.
+	if _, err := core.NewPolicyByName(o.policy, capacity, o.seed); err != nil {
 		return nil, err
 	}
 	db, err := engine.Open(s, engine.Config{SampleEvery: o.sample, Seed: o.seed})
@@ -229,8 +232,15 @@ func start(o options) (*daemon, error) {
 		return nil, fmt.Errorf("-ledger-out requires -ledger > 0")
 	}
 	med, err := federation.New(federation.Config{
-		Schema: s, Engine: db, Policy: pol, Granularity: g, Obs: reg,
+		Schema: s, Engine: db, Granularity: g, Obs: reg,
 		Ledger: led, Shadows: o.shadow,
+		// One policy instance per decision partition, seeded per shard
+		// so randomized policies draw independent streams.
+		NewPolicy: func(shard int, shardCap int64) (core.Policy, error) {
+			return core.NewPolicyByName(o.policy, shardCap, o.seed+int64(shard))
+		},
+		Capacity: capacity,
+		Shards:   o.decisionShards,
 	})
 	if err != nil {
 		ledSink.Close()
@@ -260,7 +270,10 @@ func start(o options) (*daemon, error) {
 	bcfg.Seed = o.seed
 	proxy.SetBreakerConfig(bcfg)
 	proxy.SetConcurrency(o.maxInflight, 0)
-	proxy.SetPoolConfig(wire.PoolConfig{MaxActive: o.poolSize})
+	// -pool-size 0 hands sizing to the proxy's adaptive loop, which
+	// re-derives each site's bound from wire.pool_waits and observed
+	// RPC latency; any explicit value pins the bound.
+	proxy.SetPoolConfig(wire.PoolConfig{MaxActive: o.poolSize, Adaptive: o.poolSize == 0})
 	proxy.SetFlightConfig(flightrec.Config{
 		Capacity: o.flightCap, Threshold: o.flightThreshold, SampleEvery: o.flightSample,
 	})
@@ -359,8 +372,8 @@ func start(o options) (*daemon, error) {
 		return nil, err
 	}
 	d.bound = bound
-	d.desc = fmt.Sprintf("release %s, policy %s, cache %.0f%% (%d MB), granularity %s, %d nodes",
-		s.Name, pol.Name(), o.cachePct*100, capacity>>20, g, len(nodeAddrs))
+	d.desc = fmt.Sprintf("release %s, policy %s, cache %.0f%% (%d MB), granularity %s, %d decision shards, %d nodes",
+		s.Name, o.policy, o.cachePct*100, capacity>>20, g, med.ShardCount(), len(nodeAddrs))
 	return d, nil
 }
 

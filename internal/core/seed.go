@@ -1,0 +1,133 @@
+package core
+
+// Cache seeding: adopting an object into a policy's cache outside the
+// decision path. The sharded mediator uses it to migrate cache
+// contents between decision-partition layouts — a snapshot taken at
+// one `-decision-shards` value restores into another by rehashing
+// every cached object to its new owning partition and seeding it
+// there (see federation.RestoreState).
+//
+// Seeding is deliberately best-effort on metadata: the object arrives
+// with the freshest plausible standing (full credit, a cleared mark,
+// one reference) rather than its exact history, which is meaningful
+// only under the source layout's clock. What seeding does guarantee is
+// membership and the capacity bound: a seeded object is Contains()-
+// true, Used() grows by its size, and an object that does not fit the
+// remaining capacity is refused (never evicts — the migration feeds
+// objects in source order and lets the new layout's traffic sort out
+// the rest).
+
+// CacheSeeder is implemented by policies (and bypass-object
+// subroutines) that can adopt an object into their cache outside the
+// decision path. SeedObject reports whether the object was admitted;
+// refusals (object larger than the remaining capacity, or already
+// cached) leave the cache unchanged.
+type CacheSeeder interface {
+	SeedObject(obj Object) bool
+}
+
+// SeedObject implements CacheSeeder: the object is admitted with full
+// credit (as a fresh load would grant) when it fits the remaining
+// capacity.
+func (l *Landlord) SeedObject(obj Object) bool {
+	if l.heap.Contains(string(obj.ID)) {
+		return false
+	}
+	if l.used+obj.Size > l.cap {
+		return false
+	}
+	perByte := float64(obj.FetchCost) / float64(obj.Size)
+	l.heap.Push(string(obj.ID), l.offset+perByte, obj)
+	l.used += obj.Size
+	return true
+}
+
+// SeedObject implements CacheSeeder: the object arrives unmarked (a
+// migrated object has not been referenced in the current phase).
+func (m *SizeClassMarking) SeedObject(obj Object) bool {
+	if _, ok := m.entries[obj.ID]; ok {
+		return false
+	}
+	if m.used+obj.Size > m.cap {
+		return false
+	}
+	m.entries[obj.ID] = &scmEntry{obj: obj, class: sizeClass(obj.Size)}
+	m.used += obj.Size
+	return true
+}
+
+// SeedObject implements CacheSeeder by forwarding to the subroutine
+// when it can seed.
+func (o *OnlineBY) SeedObject(obj Object) bool {
+	cs, ok := o.aobj.(CacheSeeder)
+	return ok && cs.SeedObject(obj)
+}
+
+// SeedObject implements CacheSeeder by forwarding to the subroutine
+// when it can seed.
+func (s *SpaceEffBY) SeedObject(obj Object) bool {
+	cs, ok := s.aobj.(CacheSeeder)
+	return ok && cs.SeedObject(obj)
+}
+
+// SeedObject implements CacheSeeder: the entry restarts its rate
+// profile from the adopting partition's clock origin.
+func (r *RateProfile) SeedObject(obj Object) bool {
+	if _, ok := r.entries[obj.ID]; ok {
+		return false
+	}
+	if r.used+obj.Size > r.cfg.Capacity {
+		return false
+	}
+	r.entries[obj.ID] = &rpEntry{obj: obj}
+	r.used += obj.Size
+	return true
+}
+
+// seedObject admits obj at the given utility when it fits the
+// remaining capacity, without evicting.
+func (c *inlineCache) seedObject(obj Object, utility float64) bool {
+	if c.heap.Contains(string(obj.ID)) {
+		return false
+	}
+	if c.used+obj.Size > c.cap {
+		return false
+	}
+	c.heap.Push(string(obj.ID), utility, obj)
+	c.used += obj.Size
+	return true
+}
+
+// SeedObject implements CacheSeeder: a migrated object ranks oldest
+// (priority 0 precedes any live access time).
+func (l *LRU) SeedObject(obj Object) bool { return l.seedObject(obj, 0) }
+
+// SeedObject implements CacheSeeder: a migrated object starts with one
+// reference.
+func (l *LFU) SeedObject(obj Object) bool {
+	if !l.seedObject(obj, 1) {
+		return false
+	}
+	if l.count[obj.ID] < 1 {
+		l.count[obj.ID] = 1
+	}
+	return true
+}
+
+// SeedObject implements CacheSeeder: the object enters at the current
+// inflation floor plus its cost density, as a fresh load would.
+func (g *GDS) SeedObject(obj Object) bool { return g.seedObject(obj, g.priority(obj)) }
+
+// SeedObject implements CacheSeeder: the object enters with one
+// reference at the resulting GDSP priority.
+func (g *GDSP) SeedObject(obj Object) bool {
+	if g.freq[obj.ID] < 1 {
+		g.freq[obj.ID] = 1
+	}
+	return g.seedObject(obj, g.priority(obj))
+}
+
+// SeedObject implements CacheSeeder: the object enters with no
+// reference history (infinite backward K-distance), so it is the
+// preferred victim until live traffic references it.
+func (l *LRUK) SeedObject(obj Object) bool { return l.seedObject(obj, l.priority(obj.ID)) }

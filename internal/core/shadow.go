@@ -52,6 +52,13 @@ type ShadowSet struct {
 	optAcc   map[ObjectID]int64 // per-object accumulated bypass cost
 	optBound int64              // Σ_i min(optAcc[i], f_i)
 	tel      *Telemetry
+
+	// Last-published values: the savings gauges and competitive totals
+	// are fed as deltas so several shadow sets (one per decision
+	// partition) can share one telemetry and the gauges read the sum.
+	pubVsBypass int64
+	pubVsLRUK   int64
+	pubWAN      int64
 }
 
 // NewShadowSet builds the baseline set for a live cache of the given
@@ -104,11 +111,11 @@ func (s *ShadowSet) Access(t int64, obj Object, yield int64, d Decision) {
 
 	if s.tel != nil {
 		realizedWAN := s.realized.WANBytes()
-		s.tel.PublishSavings(
-			s.shadows[0].acct.WANBytes()-realizedWAN,
-			s.shadows[1].acct.WANBytes()-realizedWAN,
-		)
-		s.tel.PublishCompetitive(realizedWAN, s.optBound)
+		vsBypass := s.shadows[0].acct.WANBytes() - realizedWAN
+		vsLRUK := s.shadows[1].acct.WANBytes() - realizedWAN
+		s.tel.PublishSavings(vsBypass-s.pubVsBypass, vsLRUK-s.pubVsLRUK)
+		s.tel.PublishCompetitive(realizedWAN-s.pubWAN, delta)
+		s.pubVsBypass, s.pubVsLRUK, s.pubWAN = vsBypass, vsLRUK, realizedWAN
 	}
 }
 
@@ -170,11 +177,18 @@ func (s *ShadowSet) CompetitiveRatio() float64 {
 	return float64(s.realized.WANBytes()) / float64(s.optBound)
 }
 
-// Reset clears all shadow state for a fresh run.
+// Reset clears all shadow state for a fresh run, retracting this
+// set's contribution from the shared savings gauges and competitive
+// totals.
 func (s *ShadowSet) Reset() {
 	if s == nil {
 		return
 	}
+	if s.tel != nil {
+		s.tel.PublishSavings(-s.pubVsBypass, -s.pubVsLRUK)
+		s.tel.PublishCompetitive(-s.pubWAN, -s.optBound)
+	}
+	s.pubVsBypass, s.pubVsLRUK, s.pubWAN = 0, 0, 0
 	s.realized = Accounting{}
 	for _, e := range s.shadows {
 		e.policy.Reset()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"bypassyield/internal/obs"
@@ -57,6 +58,20 @@ import (
 //	                          decision plane's queueing delay, which
 //	                          tail attribution separates from WAN time
 //
+// Sharded decision plane (the mediator partitions its decision state
+// by object; see federation):
+//
+//	core.decide_wait_us       histogram: one query's TOTAL time blocked
+//	                          on decision-partition locks (µs) — the
+//	                          sharded successor of core.lock_wait_us,
+//	                          which it equals at one partition
+//	core.shard_queries        counter family, label "s<k>": queries
+//	                          that touched partition k
+//	core.shard_lock_wait_us   histogram family, label "s<k>": per-
+//	                          partition lock acquisition wait (µs) —
+//	                          a hot partition shows up as one skewed
+//	                          member of the family
+//
 // Pipeline concurrency (the proxy's decide-then-execute split —
 // decisions stay sequential under the mediation lock, WAN legs and
 // whole queries overlap):
@@ -102,8 +117,11 @@ type Telemetry struct {
 	cacheRate  *obs.Rate
 	queryRate  *obs.Rate
 
-	decide   *obs.Histogram
-	lockWait *obs.Histogram
+	decide        *obs.Histogram
+	lockWait      *obs.Histogram
+	decideWait    *obs.Histogram
+	shardQueries  *obs.CounterFamily
+	shardLockWait *obs.HistogramFamily
 
 	queryConcurrency *obs.Gauge
 	legsInflight     *obs.Gauge
@@ -116,6 +134,11 @@ type Telemetry struct {
 	compRatioWindow *obs.Gauge
 	wanRate         *obs.Rate
 	optRate         *obs.Rate
+
+	// Global accumulators behind the competitive-ratio gauge: sharded
+	// shadow sets each contribute deltas, the gauge reads the sum.
+	compWAN   atomic.Int64
+	compBound atomic.Int64
 }
 
 // DecideBuckets are the explicit core.decide_seconds bucket bounds in
@@ -159,8 +182,11 @@ func NewTelemetry(r *obs.Registry) *Telemetry {
 		cacheRate:       r.Rate("core.cache_bytes_rate"),
 		queryRate:       r.Rate("core.query_rate"),
 
-		decide:   r.Histogram("core.decide_seconds", DecideBuckets()),
-		lockWait: r.Histogram("core.lock_wait_us", obs.DefaultLatencyBuckets()),
+		decide:        r.Histogram("core.decide_seconds", DecideBuckets()),
+		lockWait:      r.Histogram("core.lock_wait_us", obs.DefaultLatencyBuckets()),
+		decideWait:    r.Histogram("core.decide_wait_us", obs.DefaultLatencyBuckets()),
+		shardQueries:  r.CounterFamily("core.shard_queries"),
+		shardLockWait: r.HistogramFamily("core.shard_lock_wait_us", obs.DefaultLatencyBuckets()),
 
 		queryConcurrency: r.Gauge("core.query_concurrency"),
 		legsInflight:     r.Gauge("core.legs_inflight"),
@@ -276,6 +302,29 @@ func (t *Telemetry) ObserveLockWait(d time.Duration) {
 	t.lockWait.Observe(d.Microseconds())
 }
 
+// ObserveDecideWait records one query's total decision-partition lock
+// wait in the core.decide_wait_us histogram (microseconds). It also
+// feeds core.lock_wait_us so dashboards built before the sharded plane
+// keep reading the same queueing delay.
+func (t *Telemetry) ObserveDecideWait(d time.Duration) {
+	if t == nil {
+		return
+	}
+	us := d.Microseconds()
+	t.decideWait.Observe(us)
+	t.lockWait.Observe(us)
+}
+
+// RecordShardQuery counts one query touching the named decision
+// partition and records its wait for that partition's lock.
+func (t *Telemetry) RecordShardQuery(shard string, wait time.Duration) {
+	if t == nil {
+		return
+	}
+	t.shardQueries.Add(shard, 1)
+	t.shardLockWait.Observe(shard, wait.Microseconds())
+}
+
 // QueryInflight moves the core.query_concurrency gauge by delta; the
 // proxy brackets each client query's pipeline (+1 on entry, −1 on
 // exit), so the gauge reads the instantaneous overlap.
@@ -314,27 +363,33 @@ func (t *Telemetry) RecordOptBound(delta int64) {
 	t.optRate.Add(delta)
 }
 
-// PublishSavings sets the live bytes-saved-vs-baseline gauges:
-// counterfactual WAN minus realized WAN (negative when the policy is
-// doing worse than the baseline).
-func (t *Telemetry) PublishSavings(vsBypass, vsLRUK int64) {
+// PublishSavings moves the bytes-saved-vs-baseline gauges by deltas.
+// Each shadow set (one per decision partition under the sharded
+// mediator) publishes the change in its own counterfactual-minus-
+// realized WAN, so the gauges always read the sum across partitions —
+// which at one partition is exactly the single set's current value.
+func (t *Telemetry) PublishSavings(dBypass, dLRUK int64) {
 	if t == nil {
 		return
 	}
-	t.savedVsBypass.Set(vsBypass)
-	t.savedVsLRUK.Set(vsLRUK)
+	t.savedVsBypass.Add(dBypass)
+	t.savedVsLRUK.Add(dLRUK)
 }
 
-// PublishCompetitive sets the competitive-ratio gauges, in
-// thousandths (gauges are integers): the lifetime ratio from the
-// running totals, and the windowed ratio from the recent WAN and
-// bound rates. A zero denominator leaves the gauge at 0.
-func (t *Telemetry) PublishCompetitive(realizedWAN, bound int64) {
+// PublishCompetitive accumulates realized-WAN and ski-rental-bound
+// deltas into the telemetry's global totals and republishes the
+// competitive-ratio gauges, in thousandths (gauges are integers): the
+// lifetime ratio from the accumulated totals, and the windowed ratio
+// from the recent WAN and bound rates. A zero denominator leaves the
+// gauge at 0.
+func (t *Telemetry) PublishCompetitive(dWAN, dBound int64) {
 	if t == nil {
 		return
 	}
+	wan := t.compWAN.Add(dWAN)
+	bound := t.compBound.Add(dBound)
 	if bound > 0 {
-		t.compRatio.Set(realizedWAN * 1000 / bound)
+		t.compRatio.Set(wan * 1000 / bound)
 	}
 	if br := t.optRate.PerSecond(); br > 0 {
 		t.compRatioWindow.Set(int64(t.wanRate.PerSecond() / br * 1000))

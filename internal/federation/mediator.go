@@ -2,7 +2,7 @@ package federation
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"bypassyield/internal/catalog"
@@ -21,9 +21,20 @@ type Config struct {
 	// Engine executes queries (a full copy of the release, possibly
 	// sampled; yields are logical either way).
 	Engine *engine.DB
-	// Policy is the bypass-yield cache algorithm. Nil means no
-	// caching (every access bypasses).
+	// Policy is a single bypass-yield cache instance. It pins the
+	// decision plane to one partition (a policy instance is
+	// single-goroutine); use NewPolicy to shard. Nil with no NewPolicy
+	// means no caching (every access bypasses).
 	Policy core.Policy
+	// NewPolicy, when set, builds one policy instance per decision
+	// partition: shard is the partition index, capacity the partition's
+	// exact slice of Capacity. All instances must be the same algorithm
+	// (the plane has one policy name). Mutually exclusive with Policy.
+	NewPolicy func(shard int, capacity int64) (core.Policy, error)
+	// Capacity is the total cache capacity in bytes, split exactly
+	// across partitions when NewPolicy is set (ignored with Policy,
+	// which carries its own capacity).
+	Capacity int64
 	// Granularity selects table or column objects.
 	Granularity Granularity
 	// Net is the WAN cost model; nil means uniform.
@@ -41,6 +52,11 @@ type Config struct {
 	// replayed through always-bypass and LRU-K shadow baselines plus
 	// the ski-rental bound, feeding the core.bytes_saved_vs_* gauges.
 	Shadows bool
+	// Shards is the decision-plane partition count, rounded up to a
+	// power of two. 0 means GOMAXPROCS rounded up; 1 is the fully
+	// serialized single-partition plane. Counts above 1 require
+	// NewPolicy (each partition owns its own policy instance).
+	Shards int
 }
 
 // SiteHealth reports whether a federation site can currently serve
@@ -62,39 +78,50 @@ type SiteHealth interface {
 // The mediator is safe for concurrent use. Query execution (bind,
 // engine evaluation, yield decomposition) runs lock-free — the engine
 // is an immutable column store with atomic counters — while the
-// decision phase (query clock, policy, accounting, ledger, shadows)
-// runs under one internal mutex. Decisions therefore stay globally
-// ordered: each query observes a consistent policy state, the clock t
-// increments once per query, and Σ decision yields = D_A holds exactly
-// however many queries overlap. Callers execute the decided WAN legs
-// after QueryStmtTraced returns, outside any mediator lock — the
-// decide-then-execute handoff.
+// decision phase runs over per-object partitions (see shard.go): each
+// partition serializes its own clock, policy, accounting, and shadow
+// baselines under its own lock, so decisions on unrelated objects
+// proceed in parallel while Σ decision yields = D_A holds exactly per
+// partition and (by summation) globally. A global atomic sequence
+// orders queries across partitions for the ledger and the journal.
+// Callers execute the decided WAN legs after QueryStmtTraced returns,
+// outside any mediator lock — the decide-then-execute handoff.
 type Mediator struct {
 	cfg     Config
 	objects map[core.ObjectID]core.Object
-	health  SiteHealth
 
-	// mu guards the sequential decision state below: the query clock,
-	// accounting, policy, ledger ordering, shadow baselines, and the
-	// eviction watermark.
-	mu   sync.Mutex
-	acct core.Accounting
-	t    int64
+	// policyName and capacity describe the whole plane: every
+	// partition runs the same algorithm, capacities sum to capacity.
+	policyName string
+	capacity   int64
+
+	// g is the global query sequence: incremented once per query, it
+	// is the plane-wide clock (Seq, ledger T, journal T) and the total
+	// query count.
+	g atomic.Int64
+
+	// shards are the decision partitions. health and journal are
+	// written under the all-partitions barrier and read under any
+	// single partition lock.
+	shards  []*decisionShard
+	health  SiteHealth
+	journal Journal
 
 	// Telemetry (no-ops when cfg.Obs is nil).
-	tel           *core.Telemetry
-	queryLatency  *obs.Histogram
-	objsTouched   *obs.Counter
-	queriesMet    *obs.Counter
-	lastEvictions int64
+	tel          *core.Telemetry
+	queryLatency *obs.Histogram
+	objsTouched  *obs.Counter
+	queriesMet   *obs.Counter
 
-	// Decision audit trail (nil-safe no-ops when not configured).
-	ledger  *ledger.Ledger
-	shadows *core.ShadowSet
+	// Decision audit trail (nil-safe no-op when not configured).
+	ledger *ledger.Ledger
 
-	// journal, when attached, receives one record per accounted access
-	// under the decision lock (crash-safe persistence, see state.go).
-	journal Journal
+	// Replay mode, set by RestoreState: when the restored snapshot was
+	// taken under a different partition layout, recorded partition
+	// clocks are meaningless and replay skips by global sequence
+	// against replayGBase instead (see state.go).
+	replayRehash bool
+	replayGBase  int64
 }
 
 // AccessDecision records the cache's handling of one object access
@@ -134,6 +161,15 @@ type SiteError struct {
 	LostBytes int64
 }
 
+// ShardWait is the time one query spent blocked on one decision
+// partition's lock.
+type ShardWait struct {
+	// Shard is the partition index.
+	Shard int
+	// WaitUS is the blocked time in microseconds.
+	WaitUS int64
+}
+
 // QueryReport is the outcome of one mediated query.
 type QueryReport struct {
 	// SQL is the original statement.
@@ -145,7 +181,7 @@ type QueryReport struct {
 	// — it is what the client actually receives, so it still equals
 	// the accounting's delivered-bytes increment (D_A).
 	Result *engine.Result
-	// Decisions lists per-object cache decisions.
+	// Decisions lists per-object cache decisions, in access order.
 	Decisions []AccessDecision
 	// Degraded reports that at least one access was forced or failed.
 	Degraded bool
@@ -153,11 +189,15 @@ type QueryReport struct {
 	SiteErrors []SiteError
 	// Phase timings in microseconds, consumed by the proxy's flight
 	// recorder for critical-path attribution: ExecUS is the lock-free
-	// bind/execute phase, LockWaitUS the time blocked waiting for the
-	// decision lock, DecideUS the locked decision phase.
+	// bind/execute phase, LockWaitUS the total time blocked waiting
+	// for decision-partition locks, DecideUS the decision work itself
+	// (excluding lock waits).
 	ExecUS     int64
 	LockWaitUS int64
 	DecideUS   int64
+	// ShardWaits breaks LockWaitUS down per visited partition, in
+	// visit (ascending partition) order.
+	ShardWaits []ShardWait
 }
 
 // New builds a mediator. The engine must serve the same schema.
@@ -168,6 +208,22 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.Engine.Schema() != cfg.Schema {
 		return nil, fmt.Errorf("federation: engine serves schema %q, mediator configured for %q",
 			cfg.Engine.Schema().Name, cfg.Schema.Name)
+	}
+	if cfg.Policy != nil && cfg.NewPolicy != nil {
+		return nil, fmt.Errorf("federation: Policy and NewPolicy are mutually exclusive")
+	}
+	nshards := 1
+	switch {
+	case cfg.Policy != nil:
+		// A single policy instance is single-goroutine: it cannot span
+		// partitions.
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("federation: %d decision shards require NewPolicy (one policy instance per partition)", cfg.Shards)
+		}
+	default:
+		if cfg.NewPolicy != nil || cfg.Shards > 0 {
+			nshards = NumShards(cfg.Shards)
+		}
 	}
 	if cfg.Net == nil {
 		cfg.Net = netcost.Uniform()
@@ -181,16 +237,21 @@ func New(cfg Config) (*Mediator, error) {
 		queriesMet:   cfg.Obs.Counter("federation.queries"),
 		ledger:       cfg.Ledger,
 	}
-	if ts, ok := cfg.Policy.(core.TelemetrySetter); ok && cfg.Obs != nil {
-		ts.SetTelemetry(m.tel)
+	shards, err := newShards(cfg, nshards, m.tel)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Shadows {
-		var capacity int64
-		if cfg.Policy != nil {
-			capacity = cfg.Policy.Capacity()
+	m.shards = shards
+	m.policyName = "none"
+	if p := shards[0].policy; p != nil {
+		m.policyName = p.Name()
+		for _, sh := range shards {
+			if sh.policy.Name() != m.policyName {
+				return nil, fmt.Errorf("federation: decision shard %d runs policy %q, shard 0 runs %q (one algorithm per plane)",
+					sh.idx, sh.policy.Name(), m.policyName)
+			}
+			m.capacity += sh.policy.Capacity()
 		}
-		m.shadows = core.NewShadowSet(capacity)
-		m.shadows.SetTelemetry(m.tel)
 	}
 	return m, nil
 }
@@ -202,9 +263,9 @@ func (m *Mediator) Obs() *obs.Registry { return m.cfg.Obs }
 // SetHealth attaches a site-health source (the proxy's breakers).
 // Nil detaches; every site is then considered available.
 func (m *Mediator) SetHealth(h SiteHealth) {
-	m.mu.Lock()
+	m.lockAll()
 	m.health = h
-	m.mu.Unlock()
+	m.unlockAll()
 }
 
 // Objects returns the cacheable-object universe.
@@ -216,16 +277,53 @@ func (m *Mediator) Schema() *catalog.Schema { return m.cfg.Schema }
 // Granularity returns the configured object granularity.
 func (m *Mediator) Granularity() Granularity { return m.cfg.Granularity }
 
-// Policy returns the configured cache policy (nil when caching is
-// disabled).
-func (m *Mediator) Policy() core.Policy { return m.cfg.Policy }
+// Policy returns the cache policy when the plane has exactly one
+// partition (nil when caching is disabled or the plane is sharded —
+// per-partition instances are not safe to touch outside their locks;
+// use PolicyStats).
+func (m *Mediator) Policy() core.Policy {
+	if len(m.shards) == 1 {
+		return m.shards[0].policy
+	}
+	return nil
+}
 
-// Accounting returns the accumulated flow accounting (a consistent
-// snapshot: never mid-query).
+// ShardCount returns the number of decision partitions.
+func (m *Mediator) ShardCount() int { return len(m.shards) }
+
+// Accounting returns the accumulated flow accounting summed across
+// partitions, captured under the all-partitions barrier (consistent:
+// never mid-access).
 func (m *Mediator) Accounting() core.Accounting {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.acct
+	m.lockAll()
+	defer m.unlockAll()
+	return m.accountingLocked()
+}
+
+// accountingLocked sums partition accountings; callers hold all
+// partition locks. Queries is the global sequence, not the partition
+// sum (a query touching k partitions advances k partition clocks).
+func (m *Mediator) accountingLocked() core.Accounting {
+	var out core.Accounting
+	for _, sh := range m.shards {
+		out.Add(sh.acct)
+	}
+	out.Queries = m.g.Load()
+	return out
+}
+
+// ShardAccountings returns each partition's own flow accounting,
+// captured under the all-partitions barrier. Per partition the
+// reconciliation invariant holds on its own: Σ that partition's
+// decision yields = its DeliveredBytes().
+func (m *Mediator) ShardAccountings() []core.Accounting {
+	m.lockAll()
+	defer m.unlockAll()
+	out := make([]core.Accounting, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = sh.acct
+	}
+	return out
 }
 
 // Telemetry returns the mediator's core telemetry (nil when
@@ -236,65 +334,87 @@ func (m *Mediator) Telemetry() *core.Telemetry { return m.tel }
 // Ledger returns the decision ledger (nil when not configured).
 func (m *Mediator) Ledger() *ledger.Ledger { return m.ledger }
 
-// Shadows returns the counterfactual shadow set (nil when disabled).
-// The set mutates under the mediator's decision lock; concurrent
-// readers should prefer ShadowStats.
-func (m *Mediator) Shadows() *core.ShadowSet { return m.shadows }
+// Shadows returns the counterfactual shadow set when the plane has
+// exactly one partition (nil when disabled or sharded; use
+// ShadowStats for the aggregate view). The set mutates under its
+// partition's lock.
+func (m *Mediator) Shadows() *core.ShadowSet {
+	if len(m.shards) == 1 {
+		return m.shards[0].shadows
+	}
+	return nil
+}
 
 // PolicyStats is a consistent snapshot of the cache policy's
-// externally visible state, taken under the decision lock.
+// externally visible state, aggregated across decision partitions
+// under the all-partitions barrier.
 type PolicyStats struct {
 	Name     string
 	Used     int64
 	Capacity int64
 	// Contents lists cached object ids when the policy implements
-	// core.ContentLister (nil otherwise).
+	// core.ContentLister (nil otherwise), concatenated across
+	// partitions.
 	Contents []core.ObjectID
 }
 
-// PolicyStats snapshots the policy under the decision lock so readers
-// never observe a cache mid-decision; ok is false when caching is
-// disabled.
+// PolicyStats snapshots the policy plane under the all-partitions
+// barrier so readers never observe a cache mid-decision; ok is false
+// when caching is disabled.
 func (m *Mediator) PolicyStats() (ps PolicyStats, ok bool) {
-	pol := m.cfg.Policy
-	if pol == nil {
+	if m.shards[0].policy == nil {
 		return PolicyStats{}, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps = PolicyStats{Name: pol.Name(), Used: pol.Used(), Capacity: pol.Capacity()}
-	if cl, isLister := pol.(core.ContentLister); isLister {
-		ps.Contents = cl.Contents()
+	m.lockAll()
+	defer m.unlockAll()
+	ps = PolicyStats{Name: m.policyName, Capacity: m.capacity}
+	for _, sh := range m.shards {
+		ps.Used += sh.policy.Used()
+		if cl, isLister := sh.policy.(core.ContentLister); isLister {
+			ps.Contents = append(ps.Contents, cl.Contents()...)
+		}
 	}
 	return ps, true
 }
 
 // ShadowStats is a consistent snapshot of the counterfactual
-// baselines, taken under the decision lock.
+// baselines, aggregated across decision partitions under the
+// all-partitions barrier.
 type ShadowStats struct {
 	Baselines             []core.ShadowResult
 	OptBoundBytes         int64
 	CompetitiveRatioMilli int64
 }
 
-// ShadowStats snapshots the shadow baselines under the decision lock;
-// zero-valued when shadows are disabled.
+// ShadowStats snapshots the shadow baselines under the all-partitions
+// barrier; zero-valued when shadows are disabled. Baselines and the
+// ski-rental bound sum across partitions; the competitive ratio is
+// total realized WAN over the total bound.
 func (m *Mediator) ShadowStats() ShadowStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return ShadowStats{
-		Baselines:             m.shadows.Baselines(),
-		OptBoundBytes:         m.shadows.OptBound(),
-		CompetitiveRatioMilli: int64(m.shadows.CompetitiveRatio() * 1000),
+	m.lockAll()
+	defer m.unlockAll()
+	var out ShadowStats
+	var realizedWAN int64
+	for _, sh := range m.shards {
+		realizedWAN += sh.shadows.Realized().WANBytes()
+		out.OptBoundBytes += sh.shadows.OptBound()
+		for bi, r := range sh.shadows.Baselines() {
+			if bi == len(out.Baselines) {
+				out.Baselines = append(out.Baselines, core.ShadowResult{Name: r.Name})
+			}
+			out.Baselines[bi].Acct.Add(r.Acct)
+			out.Baselines[bi].SavedBytes += r.SavedBytes
+		}
 	}
+	if out.OptBoundBytes > 0 {
+		out.CompetitiveRatioMilli = realizedWAN * 1000 / out.OptBoundBytes
+	}
+	return out
 }
 
-// Clock returns the number of queries mediated so far.
-func (m *Mediator) Clock() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.t
-}
+// Clock returns the number of queries mediated so far (the global
+// query sequence).
+func (m *Mediator) Clock() int64 { return m.g.Load() }
 
 // Query parses, executes, and accounts one statement.
 func (m *Mediator) Query(sql string) (*QueryReport, error) {
@@ -326,7 +446,7 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 		return nil, err
 	}
 	accs := Decompose(b, m.cfg.Schema.Name, res.Bytes, m.cfg.Granularity)
-	// Resolve objects before taking the lock; the universe is immutable.
+	// Resolve objects before taking any lock; the universe is immutable.
 	objs := make([]core.Object, len(accs))
 	for i, acc := range accs {
 		obj, ok := m.objects[acc.Object]
@@ -338,26 +458,85 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 
 	execUS := time.Since(start).Microseconds()
 
-	// Decision phase — the short critical section. Policy decisions,
-	// accounting, ledger records, and shadow replays stay sequential in
-	// query order so Σ decision yields = D_A is exact and every policy
-	// observes a consistent clock.
-	lockStart := time.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	lockWait := time.Since(lockStart)
-	m.tel.ObserveLockWait(lockWait)
-	decidePhaseStart := time.Now()
-	m.t++
-	m.acct.Queries++
+	rep, err := m.decide(sql, traceID, res, accs, objs)
+	if err != nil {
+		return nil, err
+	}
+	rep.ExecUS = execUS
+	m.queryLatency.Observe(time.Since(start).Microseconds())
+	return rep, nil
+}
+
+// decide runs the decision phase over pre-resolved accesses. The
+// query claims its global sequence number, then visits each touched
+// decision partition in ascending index order holding at most one
+// partition lock at a time; within a partition, decisions stay
+// sequential in partition-clock order so Σ decision yields = D_A is
+// exact per partition, and summation keeps it exact globally. The
+// contention benchmark drives this entry point directly.
+func (m *Mediator) decide(sql, traceID string, res *engine.Result, accs []core.Access, objs []core.Object) (*QueryReport, error) {
+	g := m.g.Add(1)
 	m.queriesMet.Add(1)
 	m.tel.RecordQuery()
-	rep := &QueryReport{SQL: sql, Seq: m.t, Result: res}
-	policyName := "none"
-	if m.cfg.Policy != nil {
-		policyName = m.cfg.Policy.Name()
+	rep := &QueryReport{SQL: sql, Seq: g, Result: res}
+	if len(accs) == 0 {
+		return rep, nil
 	}
-	for i, acc := range accs {
+	decideStart := time.Now()
+	rep.Decisions = make([]AccessDecision, len(accs))
+	shardIdx := make([]int, len(accs))
+	for i := range accs {
+		shardIdx[i] = ShardOf(objs[i].ID, len(m.shards))
+	}
+	var totalWait time.Duration
+	// Ascending-order partition sweep: repeatedly visit the smallest
+	// untouched partition index present in the access set. Queries
+	// touch a handful of objects, so the quadratic scan is cheaper
+	// than sorting.
+	prev := -1
+	for {
+		next := len(m.shards)
+		for _, si := range shardIdx {
+			if si > prev && si < next {
+				next = si
+			}
+		}
+		if next == len(m.shards) {
+			break
+		}
+		if err := m.decideShard(m.shards[next], g, rep, accs, objs, shardIdx, traceID, &totalWait); err != nil {
+			return nil, err
+		}
+		prev = next
+	}
+	if rep.Degraded {
+		m.tel.RecordDegradedQuery()
+	}
+	m.tel.ObserveDecideWait(totalWait)
+	rep.LockWaitUS = totalWait.Microseconds()
+	rep.DecideUS = time.Since(decideStart).Microseconds() - rep.LockWaitUS
+	if rep.DecideUS < 0 {
+		rep.DecideUS = 0
+	}
+	return rep, nil
+}
+
+// decideShard processes the query's accesses owned by one partition
+// under that partition's lock.
+func (m *Mediator) decideShard(sh *decisionShard, g int64, rep *QueryReport, accs []core.Access, objs []core.Object, shardIdx []int, traceID string, totalWait *time.Duration) error {
+	waitStart := time.Now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	wait := time.Since(waitStart)
+	*totalWait += wait
+	m.tel.RecordShardQuery(sh.label, wait)
+	rep.ShardWaits = append(rep.ShardWaits, ShardWait{Shard: sh.idx, WaitUS: wait.Microseconds()})
+	sh.t++
+	sh.acct.Queries++
+	for i := range accs {
+		if shardIdx[i] != sh.idx {
+			continue
+		}
 		obj := objs[i]
 		// Degraded mode: an unavailable site makes bypass and load
 		// impossible, so the policy is not consulted (outage traffic
@@ -365,55 +544,49 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 		// forced to serve-from-cache or dropped as a failed leg.
 		if m.health != nil {
 			if ok, reason := m.health.SiteAvailable(obj.Site); !ok {
-				if err := m.degradedAccess(rep, obj, acc.Yield, reason, policyName, traceID); err != nil {
-					return nil, err
+				if err := m.degradedAccess(sh, g, rep, i, obj, accs[i].Yield, reason, traceID); err != nil {
+					return err
 				}
 				continue
 			}
 		}
 		d := core.Bypass
-		if m.cfg.Policy != nil {
+		if sh.policy != nil {
 			decideStart := time.Now()
-			d = m.cfg.Policy.Access(m.t, obj, acc.Yield)
+			d = sh.policy.Access(sh.t, obj, accs[i].Yield)
 			m.tel.ObserveDecide(time.Since(decideStart))
 		}
-		if err := core.Account(&m.acct, obj, acc.Yield, d); err != nil {
-			return nil, err
+		if err := core.Account(&sh.acct, obj, accs[i].Yield, d); err != nil {
+			return err
 		}
-		m.tel.RecordAccess(policyName, obj, acc.Yield, d)
-		m.shadows.Access(m.t, obj, acc.Yield, d)
+		m.tel.RecordAccess(m.policyName, obj, accs[i].Yield, d)
+		sh.shadows.Access(sh.t, obj, accs[i].Yield, d)
 		if m.ledger != nil {
-			m.ledger.Record(core.DecisionRecordFor(m.t, m.cfg.Policy, traceID, obj, acc.Yield, d))
+			m.ledger.Record(core.DecisionRecordFor(g, sh.policy, traceID, obj, accs[i].Yield, d))
 		}
 		if m.journal != nil {
-			m.journal.JournalAccess(JournalRecord{Kind: JournalAccess, T: m.t, Object: obj.ID, Yield: acc.Yield, Decision: d})
+			m.journal.JournalAccess(JournalRecord{Kind: JournalAccess, T: g, ShardT: sh.t, Object: obj.ID, Yield: accs[i].Yield, Decision: d})
 		}
 		m.objsTouched.Add(1)
-		rep.Decisions = append(rep.Decisions, AccessDecision{
-			Object:   acc.Object,
+		rep.Decisions[i] = AccessDecision{
+			Object:   accs[i].Object,
 			Site:     obj.Site,
-			Yield:    acc.Yield,
+			Yield:    accs[i].Yield,
 			Decision: d,
-		})
-	}
-	if rep.Degraded {
-		m.tel.RecordDegradedQuery()
-	}
-	if m.cfg.Policy != nil {
-		if ev := m.cfg.Policy.Evictions(); ev > m.lastEvictions {
-			m.tel.RecordEvictions(policyName, ev-m.lastEvictions)
-			m.lastEvictions = ev
 		}
 	}
-	rep.ExecUS = execUS
-	rep.LockWaitUS = lockWait.Microseconds()
-	rep.DecideUS = time.Since(decidePhaseStart).Microseconds()
-	m.queryLatency.Observe(time.Since(start).Microseconds())
-	return rep, nil
+	if sh.policy != nil {
+		if ev := sh.policy.Evictions(); ev > sh.lastEvictions {
+			m.tel.RecordEvictions(m.policyName, ev-sh.lastEvictions)
+			sh.lastEvictions = ev
+		}
+	}
+	return nil
 }
 
-// degradedAccess handles one access whose owning site is unavailable.
-// Two outcomes, both fully accounted:
+// degradedAccess handles one access whose owning site is unavailable,
+// under the owning partition's lock. Two outcomes, both fully
+// accounted:
 //
 //   - Object cached → forced hit: the cached (possibly stale) copy is
 //     served and charged as a hit, so D_A reconciliation stays exact.
@@ -423,32 +596,32 @@ func (m *Mediator) QueryStmtTraced(sql string, stmt *sqlparse.SelectStmt, traceI
 //     nothing is charged. The query's result shrinks by the leg's
 //     yield, the ledger records action "failed" with zero yield and
 //     WAN cost, and the report carries a per-site error annotation.
-func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64, reason, policyName, traceID string) error {
+func (m *Mediator) degradedAccess(sh *decisionShard, g int64, rep *QueryReport, idx int, obj core.Object, yield int64, reason, traceID string) error {
 	m.objsTouched.Add(1)
-	if m.cfg.Policy != nil && m.cfg.Policy.Contains(obj.ID) {
+	if sh.policy != nil && sh.policy.Contains(obj.ID) {
 		full := core.ReasonForcedCache + ": " + reason
-		if err := core.Account(&m.acct, obj, yield, core.Hit); err != nil {
+		if err := core.Account(&sh.acct, obj, yield, core.Hit); err != nil {
 			return err
 		}
-		m.tel.RecordForced(policyName, obj.Site, obj, yield)
-		m.shadows.Access(m.t, obj, yield, core.Hit)
+		m.tel.RecordForced(m.policyName, obj.Site, obj, yield)
+		sh.shadows.Access(sh.t, obj, yield, core.Hit)
 		if m.ledger != nil {
-			rec := core.DecisionRecordFor(m.t, m.cfg.Policy, traceID, obj, yield, core.Hit)
+			rec := core.DecisionRecordFor(g, sh.policy, traceID, obj, yield, core.Hit)
 			rec.Reason = full
 			rec.Stale = true
 			m.ledger.Record(rec)
 		}
 		if m.journal != nil {
-			m.journal.JournalAccess(JournalRecord{Kind: JournalForced, T: m.t, Object: obj.ID, Yield: yield, Decision: core.Hit})
+			m.journal.JournalAccess(JournalRecord{Kind: JournalForced, T: g, ShardT: sh.t, Object: obj.ID, Yield: yield, Decision: core.Hit})
 		}
-		rep.Decisions = append(rep.Decisions, AccessDecision{
+		rep.Decisions[idx] = AccessDecision{
 			Object:   obj.ID,
 			Site:     obj.Site,
 			Yield:    yield,
 			Decision: core.Hit,
 			Forced:   true,
 			Reason:   full,
-		})
+		}
 		noteSiteError(rep, obj.Site, reason, 0)
 		return nil
 	}
@@ -456,7 +629,7 @@ func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64
 	m.tel.RecordFailedLeg(obj.Site)
 	if m.ledger != nil {
 		rec := ledger.DecisionRecord{
-			T:         m.t,
+			T:         g,
 			Trace:     traceID,
 			Object:    string(obj.ID),
 			Action:    core.ReasonFailedLeg,
@@ -464,13 +637,13 @@ func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64
 			FetchCost: obj.FetchCost,
 			Reason:    full,
 		}
-		if m.cfg.Policy != nil {
-			rec.Policy = m.cfg.Policy.Name()
+		if sh.policy != nil {
+			rec.Policy = sh.policy.Name()
 		}
 		m.ledger.Record(rec)
 	}
 	if m.journal != nil {
-		m.journal.JournalAccess(JournalRecord{Kind: JournalFailed, T: m.t, Object: obj.ID, Yield: yield})
+		m.journal.JournalAccess(JournalRecord{Kind: JournalFailed, T: g, ShardT: sh.t, Object: obj.ID, Yield: yield})
 	}
 	// The client never receives this leg's bytes: shrink the result so
 	// delivered bytes still equal the accounting's D_A increment.
@@ -478,13 +651,13 @@ func (m *Mediator) degradedAccess(rep *QueryReport, obj core.Object, yield int64
 	if rep.Result.Bytes < 0 {
 		rep.Result.Bytes = 0
 	}
-	rep.Decisions = append(rep.Decisions, AccessDecision{
+	rep.Decisions[idx] = AccessDecision{
 		Object: obj.ID,
 		Site:   obj.Site,
 		Yield:  yield,
 		Failed: true,
 		Reason: full,
-	})
+	}
 	noteSiteError(rep, obj.Site, reason, yield)
 	return nil
 }

@@ -1,0 +1,151 @@
+package federation
+
+// The sharded decision plane: the mediator's sequential decision
+// state — query clock, policy, accounting, shadow baselines, eviction
+// watermark — partitioned by object so decisions on unrelated objects
+// never serialize. Each partition owns its own lock and its own policy
+// instance over a slice of the total capacity; a query touching
+// objects in k partitions visits the partitions in ascending index
+// order holding at most one partition lock at a time, while the
+// snapshot/restore/attach barrier (lockAll) acquires every lock in the
+// same ascending order — the two disciplines cannot deadlock.
+//
+// Object→partition placement is the FNV-1a hash of the object id
+// masked by the power-of-two partition count, so placement depends
+// only on the id and the count: ledger consumers and tests can group
+// records per partition with the exported ShardOf.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"bypassyield/internal/core"
+)
+
+// NumShards normalizes a requested decision-partition count: 0 means
+// GOMAXPROCS, and any count is rounded up to the next power of two so
+// placement is a mask, not a modulo.
+func NumShards(requested int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	return nextPow2(requested)
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ShardOf maps an object to its owning decision partition under a
+// power-of-two partition count.
+func ShardOf(id core.ObjectID, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id)) //nolint:errcheck // fnv.Write cannot fail
+	return int(h.Sum32()) & (shards - 1)
+}
+
+// shardCapacities splits the total cache capacity exactly across n
+// partitions: partition i receives total/n plus one byte of the
+// remainder, so Σ partition capacities = total.
+func shardCapacities(total int64, n int) []int64 {
+	caps := make([]int64, n)
+	each, rem := total/int64(n), total%int64(n)
+	for i := range caps {
+		caps[i] = each
+		if int64(i) < rem {
+			caps[i]++
+		}
+	}
+	return caps
+}
+
+// decisionShard is one partition of the decision plane. Everything
+// below mu is guarded by it; a query holds at most one partition lock
+// at a time, the all-partitions barrier holds them all.
+type decisionShard struct {
+	idx   int
+	label string // telemetry label "s<idx>", precomputed
+
+	mu sync.Mutex
+	// t is the partition clock: the count of queries that have touched
+	// this partition (each query advances each touched partition once).
+	// It drives the partition policy's notion of time.
+	t int64
+	// replayBase is the partition clock at the restored snapshot
+	// boundary; WAL replay under a matching partition layout skips
+	// records at or below it (their effects are inside the snapshot).
+	replayBase int64
+	// replayLastG tracks the last global sequence replayed into this
+	// partition when replaying across a partition-layout change, where
+	// the recorded partition clocks are meaningless.
+	replayLastG int64
+
+	acct          core.Accounting
+	policy        core.Policy
+	shadows       *core.ShadowSet
+	lastEvictions int64
+}
+
+// shardOf returns the owning partition for an object id.
+func (m *Mediator) shardOf(id core.ObjectID) *decisionShard {
+	return m.shards[ShardOf(id, len(m.shards))]
+}
+
+// lockAll acquires every partition lock in ascending order — the
+// consistency barrier for snapshot, restore, attach, and aggregate
+// reads. Queries also visit partitions in ascending order but hold at
+// most one lock at a time, so the sweep cannot deadlock.
+func (m *Mediator) lockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases the barrier in reverse order.
+func (m *Mediator) unlockAll() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// newShards builds the decision partitions: one policy instance per
+// partition from the factory (or the single configured instance), a
+// shadow baseline set per partition when enabled, and an exact split
+// of the total capacity.
+func newShards(cfg Config, n int, tel *core.Telemetry) ([]*decisionShard, error) {
+	shards := make([]*decisionShard, n)
+	caps := shardCapacities(cfg.Capacity, n)
+	for i := range shards {
+		sh := &decisionShard{idx: i, label: fmt.Sprintf("s%d", i)}
+		switch {
+		case cfg.NewPolicy != nil:
+			pol, err := cfg.NewPolicy(i, caps[i])
+			if err != nil {
+				return nil, fmt.Errorf("federation: building policy for decision shard %d: %w", i, err)
+			}
+			sh.policy = pol
+		case cfg.Policy != nil:
+			sh.policy = cfg.Policy
+		}
+		if ts, ok := sh.policy.(core.TelemetrySetter); ok && cfg.Obs != nil {
+			ts.SetTelemetry(tel)
+		}
+		if cfg.Shadows {
+			var capacity int64
+			if sh.policy != nil {
+				capacity = sh.policy.Capacity()
+			}
+			sh.shadows = core.NewShadowSet(capacity)
+			sh.shadows.SetTelemetry(tel)
+		}
+		shards[i] = sh
+	}
+	return shards, nil
+}

@@ -1,6 +1,9 @@
 package flightrec
 
-import "sort"
+import (
+	"sort"
+	"strconv"
+)
 
 // attribute computes the exemplar's critical-path breakdown: which
 // phase the query's wall time is blocked on. The query pipeline is
@@ -21,7 +24,15 @@ func attribute(e *Exemplar) {
 		}
 	}
 	add(CauseExecute, e.ExecUS)
-	add(CauseDecideWait, e.DecideWaitUS)
+	if len(e.ShardWaits) > 0 {
+		// Sharded decision plane: attribute the blocked time to the
+		// specific partitions, so a hot shard shows up by name.
+		for _, w := range e.ShardWaits {
+			add(CauseDecideWait+":s"+strconv.Itoa(w.Shard), w.WaitUS)
+		}
+	} else {
+		add(CauseDecideWait, e.DecideWaitUS)
+	}
 	add(CauseDecide, e.DecideUS)
 	add(CauseEncode, e.EncodeUS)
 

@@ -36,8 +36,14 @@ const (
 	snapMagic = "BYSNAP1\n"
 	walMagic  = "BYWAL1\n\x00"
 
-	snapVersion = 1
-	recVersion  = 1
+	// snapVersion 2 added per-decision-partition sections (clock,
+	// accounting, policy blob per shard); version-1 snapshots decode
+	// into the single-section form and restore through the mediator's
+	// rehash path. recVersion 2 added the owning partition's clock
+	// (ShardT); version-1 records decode with ShardT = T, which is
+	// exact for the single-partition plane that wrote them.
+	snapVersion = 2
+	recVersion  = 2
 
 	// maxWALRecord bounds one journal record's payload; anything
 	// larger is corruption, not data.
@@ -154,18 +160,12 @@ func (d *dec) done() error {
 	return nil
 }
 
-// encodeSnapshot serializes a mediator State (plus the wall-clock
-// creation time) into a snapshot payload.
-func encodeSnapshot(st federation.State, createdUnix int64) []byte {
-	var e enc
-	e.u8(snapVersion)
-	e.i64(createdUnix)
-	e.i64(st.Clock)
-	e.str(st.Schema)
-	e.u8(uint8(st.Granularity))
-	e.str(st.PolicyName)
-	e.i64(st.Capacity)
-	a := st.Acct
+// maxSnapshotShards bounds the per-partition section count; anything
+// larger is corruption, not data.
+const maxSnapshotShards = 1 << 16
+
+// encodeAcct serializes one accounting block.
+func (e *enc) acct(a core.Accounting) {
 	e.i64(a.Queries)
 	e.i64(a.Accesses)
 	e.i64(a.Hits)
@@ -176,26 +176,11 @@ func encodeSnapshot(st federation.State, createdUnix int64) []byte {
 	e.i64(a.FetchBytes)
 	e.i64(a.CacheBytes)
 	e.i64(a.YieldBytes)
-	e.bytes(st.PolicyBlob)
-	return e.b
 }
 
-// decodeSnapshot parses a snapshot payload. It validates structure
-// only; semantic guards (schema, policy, capacity) belong to
-// Mediator.RestoreState.
-func decodeSnapshot(payload []byte) (federation.State, int64, error) {
-	d := dec{b: payload}
-	if v := d.u8(); d.err == nil && v != snapVersion {
-		return federation.State{}, 0, fmt.Errorf("persist: snapshot version %d, want %d", v, snapVersion)
-	}
-	created := d.i64()
-	var st federation.State
-	st.Clock = d.i64()
-	st.Schema = d.str()
-	st.Granularity = federation.Granularity(d.u8())
-	st.PolicyName = d.str()
-	st.Capacity = d.i64()
-	st.Acct = core.Accounting{
+// decodeAcct parses one accounting block.
+func (d *dec) acct() core.Accounting {
+	return core.Accounting{
 		Queries:     d.i64(),
 		Accesses:    d.i64(),
 		Hits:        d.i64(),
@@ -207,8 +192,72 @@ func decodeSnapshot(payload []byte) (federation.State, int64, error) {
 		CacheBytes:  d.i64(),
 		YieldBytes:  d.i64(),
 	}
-	if blob := d.bytes(); len(blob) > 0 {
-		st.PolicyBlob = append([]byte(nil), blob...)
+}
+
+// encodeSnapshot serializes a mediator State (plus the wall-clock
+// creation time) into a snapshot payload: the global header followed
+// by one section per decision partition.
+func encodeSnapshot(st federation.State, createdUnix int64) []byte {
+	var e enc
+	e.u8(snapVersion)
+	e.i64(createdUnix)
+	e.i64(st.Clock)
+	e.str(st.Schema)
+	e.u8(uint8(st.Granularity))
+	e.str(st.PolicyName)
+	e.i64(st.Capacity)
+	e.acct(st.Acct)
+	sections := st.Shards
+	if sections == nil {
+		sections = []federation.ShardState{{Clock: st.Clock, Acct: st.Acct, PolicyBlob: st.PolicyBlob}}
+	}
+	e.u64(uint64(len(sections)))
+	for _, sec := range sections {
+		e.i64(sec.Clock)
+		e.acct(sec.Acct)
+		e.bytes(sec.PolicyBlob)
+	}
+	return e.b
+}
+
+// decodeSnapshot parses a snapshot payload, either version: a
+// version-1 payload decodes into the single-section legacy form
+// (Shards nil, PolicyBlob set) that RestoreState lifts into one
+// implicit section. It validates structure only; semantic guards
+// (schema, policy, capacity) belong to Mediator.RestoreState.
+func decodeSnapshot(payload []byte) (federation.State, int64, error) {
+	d := dec{b: payload}
+	v := d.u8()
+	if d.err == nil && v != 1 && v != snapVersion {
+		return federation.State{}, 0, fmt.Errorf("persist: snapshot version %d, want 1 or %d", v, snapVersion)
+	}
+	created := d.i64()
+	var st federation.State
+	st.Clock = d.i64()
+	st.Schema = d.str()
+	st.Granularity = federation.Granularity(d.u8())
+	st.PolicyName = d.str()
+	st.Capacity = d.i64()
+	st.Acct = d.acct()
+	if v == 1 {
+		if blob := d.bytes(); len(blob) > 0 {
+			st.PolicyBlob = append([]byte(nil), blob...)
+		}
+	} else {
+		n := d.u64()
+		if d.err == nil && n > maxSnapshotShards {
+			return federation.State{}, 0, fmt.Errorf("persist: snapshot carries %d shard sections", n)
+		}
+		if d.err == nil {
+			st.Shards = make([]federation.ShardState, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				sec := federation.ShardState{Clock: d.i64(), Acct: d.acct()}
+				if blob := d.bytes(); len(blob) > 0 {
+					sec.PolicyBlob = append([]byte(nil), blob...)
+				}
+				st.Shards = append(st.Shards, sec)
+			}
+		}
 	}
 	if err := d.done(); err != nil {
 		return federation.State{}, 0, err
@@ -254,25 +303,34 @@ func encodeRecord(rec federation.JournalRecord) []byte {
 	e.u8(recVersion)
 	e.u8(uint8(rec.Kind))
 	e.i64(rec.T)
+	e.i64(rec.ShardT)
 	e.u8(uint8(rec.Decision))
 	e.str(string(rec.Object))
 	e.i64(rec.Yield)
 	return e.b
 }
 
-// decodeRecord parses one journal record payload.
+// decodeRecord parses one journal record payload, either version. A
+// version-1 record (written by the single-partition plane) decodes
+// with ShardT = T, which was its partition clock.
 func decodeRecord(payload []byte) (federation.JournalRecord, error) {
 	d := dec{b: payload}
-	if v := d.u8(); d.err == nil && v != recVersion {
-		return federation.JournalRecord{}, fmt.Errorf("persist: wal record version %d, want %d", v, recVersion)
+	v := d.u8()
+	if d.err == nil && v != 1 && v != recVersion {
+		return federation.JournalRecord{}, fmt.Errorf("persist: wal record version %d, want 1 or %d", v, recVersion)
 	}
 	rec := federation.JournalRecord{
-		Kind:     federation.JournalKind(d.u8()),
-		T:        d.i64(),
-		Decision: core.Decision(d.u8()),
-		Object:   core.ObjectID(d.str()),
-		Yield:    d.i64(),
+		Kind: federation.JournalKind(d.u8()),
+		T:    d.i64(),
 	}
+	if v == 1 {
+		rec.ShardT = rec.T
+	} else {
+		rec.ShardT = d.i64()
+	}
+	rec.Decision = core.Decision(d.u8())
+	rec.Object = core.ObjectID(d.str())
+	rec.Yield = d.i64()
 	if err := d.done(); err != nil {
 		return federation.JournalRecord{}, err
 	}
@@ -281,8 +339,8 @@ func decodeRecord(payload []byte) (federation.JournalRecord, error) {
 	default:
 		return federation.JournalRecord{}, fmt.Errorf("persist: unknown wal record kind %d", rec.Kind)
 	}
-	if rec.T < 0 || rec.Yield < 0 || rec.Yield > math.MaxInt64/2 {
-		return federation.JournalRecord{}, fmt.Errorf("persist: wal record out of range (t=%d yield=%d)", rec.T, rec.Yield)
+	if rec.T < 0 || rec.ShardT < 0 || rec.Yield < 0 || rec.Yield > math.MaxInt64/2 {
+		return federation.JournalRecord{}, fmt.Errorf("persist: wal record out of range (t=%d shardT=%d yield=%d)", rec.T, rec.ShardT, rec.Yield)
 	}
 	return rec, nil
 }

@@ -1,0 +1,251 @@
+package persist
+
+// Snapshot format compatibility across the sharded decision plane.
+// Two directions must keep working forever:
+//
+//   - backward: a version-1 snapshot (single-section, written by
+//     builds before sharding) restores into a sharded mediator through
+//     the rehash path, with accounting and cache contents intact;
+//   - forward: version-2 sharded snapshots round-trip exactly at every
+//     partition count, and survive a -decision-shards change between
+//     runs (the cross-layout rehash).
+//
+// These run in `make crash` alongside the kill-recovery suite.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"bypassyield/internal/catalog"
+	"bypassyield/internal/core"
+	"bypassyield/internal/engine"
+	"bypassyield/internal/federation"
+	"bypassyield/internal/obs"
+)
+
+// newShardedMediator builds a mediator with n decision partitions, one
+// rate-profile policy instance per partition (capacity split exactly).
+func newShardedMediator(t *testing.T, shards int, capacity int64) (*federation.Mediator, *obs.Registry) {
+	t.Helper()
+	s := catalog.EDR()
+	db, err := engine.Open(s, engine.Config{Seed: 1, SampleEvery: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	med, err := federation.New(federation.Config{
+		Schema: s, Engine: db,
+		NewPolicy: func(_ int, cap int64) (core.Policy, error) {
+			return core.NewPolicyByName("rate-profile", cap, 1)
+		},
+		Capacity: capacity, Shards: shards,
+		Granularity: federation.Tables, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return med, reg
+}
+
+// TestShardedSnapshotRoundTrip closes and reopens a sharded plane at
+// several partition counts: the graceful-shutdown snapshot must
+// restore every partition's section exactly — clock, accounting, and
+// cache contents per shard, nothing to replay.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	capacity := catalog.EDR().TotalBytes() / 2
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(shardName(shards), func(t *testing.T) {
+			dir := t.TempDir()
+			med1, reg1 := newShardedMediator(t, shards, capacity)
+			m1, err := Open(testConfig(dir, reg1), med1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveQueries(t, med1, 40)
+			want := med1.Accounting()
+			wantShards := med1.ShardAccountings()
+			wantStats, _ := med1.PolicyStats()
+			if err := m1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			med2, reg2 := newShardedMediator(t, shards, capacity)
+			m2, err := Open(testConfig(dir, reg2), med2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			rep := m2.Recovery()
+			if !rep.Warm || rep.Fallbacks != 0 {
+				t.Fatalf("expected clean warm start, got %s", rep)
+			}
+			if rep.Replayed != 0 {
+				t.Fatalf("graceful round trip replayed %d records", rep.Replayed)
+			}
+			if got := med2.Accounting(); got != want {
+				t.Fatalf("restored accounting %+v, want %+v", got, want)
+			}
+			gotShards := med2.ShardAccountings()
+			if len(gotShards) != shards {
+				t.Fatalf("%d restored shard sections, want %d", len(gotShards), shards)
+			}
+			for i := range gotShards {
+				if gotShards[i] != wantShards[i] {
+					t.Fatalf("shard %d restored %+v, want %+v", i, gotShards[i], wantShards[i])
+				}
+			}
+			gotStats, _ := med2.PolicyStats()
+			if gotStats.Used != wantStats.Used || len(gotStats.Contents) != len(wantStats.Contents) {
+				t.Fatalf("restored cache %+v, want %+v", gotStats, wantStats)
+			}
+			checkInvariant(t, med2, reg2)
+		})
+	}
+}
+
+// TestShardLayoutChangeRestores restarts with a different
+// -decision-shards than the snapshot was taken under: the rehash path
+// must preserve the global accounting, clock, and cache contents even
+// though per-partition attribution is not recoverable.
+func TestShardLayoutChangeRestores(t *testing.T) {
+	capacity := catalog.EDR().TotalBytes() / 2
+	cases := []struct{ from, to int }{{8, 2}, {2, 8}, {4, 1}}
+	for _, tc := range cases {
+		t.Run(shardName(tc.from)+"-to-"+shardName(tc.to), func(t *testing.T) {
+			dir := t.TempDir()
+			med1, reg1 := newShardedMediator(t, tc.from, capacity)
+			m1, err := Open(testConfig(dir, reg1), med1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveQueries(t, med1, 40)
+			want := med1.Accounting()
+			wantClock := med1.Clock()
+			wantStats, _ := med1.PolicyStats()
+			if err := m1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			med2, reg2 := newShardedMediator(t, tc.to, capacity)
+			m2, err := Open(testConfig(dir, reg2), med2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			rep := m2.Recovery()
+			if !rep.Warm || rep.Fallbacks != 0 {
+				t.Fatalf("expected warm start across layout change, got %s", rep)
+			}
+			if got := med2.Accounting(); got != want {
+				t.Fatalf("rehashed accounting %+v, want %+v", got, want)
+			}
+			if med2.Clock() != wantClock {
+				t.Fatalf("rehashed clock = %d, want %d", med2.Clock(), wantClock)
+			}
+			gotStats, _ := med2.PolicyStats()
+			if gotStats.Used != wantStats.Used || len(gotStats.Contents) != len(wantStats.Contents) {
+				t.Fatalf("rehashed cache %+v, want %+v", gotStats, wantStats)
+			}
+			checkInvariant(t, med2, reg2)
+			// The rehashed plane keeps accounting correctly afterwards.
+			driveQueries(t, med2, 8)
+			checkInvariant(t, med2, reg2)
+		})
+	}
+}
+
+// encodeV1Snapshot serializes a State exactly as pre-sharding builds
+// did: one implicit section, the policy blob trailing the header.
+func encodeV1Snapshot(st federation.State, createdUnix int64) []byte {
+	var e enc
+	e.u8(1)
+	e.i64(createdUnix)
+	e.i64(st.Clock)
+	e.str(st.Schema)
+	e.u8(uint8(st.Granularity))
+	e.str(st.PolicyName)
+	e.i64(st.Capacity)
+	e.acct(st.Acct)
+	var blob []byte
+	if len(st.Shards) == 1 {
+		blob = st.Shards[0].PolicyBlob
+	}
+	e.bytes(blob)
+	payload := e.b
+	out := make([]byte, 0, len(snapMagic)+8+len(payload))
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// TestV1SnapshotRestoresIntoShardedPlane writes a hand-framed
+// version-1 snapshot — what a pre-sharding byproxyd left on disk — and
+// opens a 4-partition plane over it. Recovery must take the rehash
+// path: global accounting and cache contents restored, the plane
+// consistent and accounting correctly for new traffic.
+func TestV1SnapshotRestoresIntoShardedPlane(t *testing.T) {
+	capacity := catalog.EDR().TotalBytes() / 2
+
+	// Source of truth: a real single-partition run (the layout every
+	// v1 snapshot was taken under).
+	med1, _ := newTestMediator(t, "rate-profile", capacity)
+	driveQueries(t, med1, 40)
+	st, err := med1.SnapshotState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 1 {
+		t.Fatalf("single-partition snapshot carries %d sections", len(st.Shards))
+	}
+	want := med1.Accounting()
+	wantStats, _ := med1.PolicyStats()
+
+	dir := t.TempDir()
+	frame := encodeV1Snapshot(st, time.Now().Unix())
+	if err := os.WriteFile(filepath.Join(dir, snapName(st.Clock)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the hand-built frame decodes as the legacy single-section
+	// form before the mediator ever sees it.
+	dec, _, err := decodeSnapshotFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Shards != nil || len(dec.PolicyBlob) == 0 {
+		t.Fatalf("v1 decode: Shards=%v blob=%d bytes, want legacy form", dec.Shards, len(dec.PolicyBlob))
+	}
+
+	med2, reg2 := newShardedMediator(t, 4, capacity)
+	m2, err := Open(testConfig(dir, reg2), med2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	rep := m2.Recovery()
+	if !rep.Warm || rep.Fallbacks != 0 {
+		t.Fatalf("v1 snapshot should warm-start a sharded plane, got %s", rep)
+	}
+	if got := med2.Accounting(); got != want {
+		t.Fatalf("restored accounting %+v, want %+v", got, want)
+	}
+	if med2.Clock() != st.Clock {
+		t.Fatalf("restored clock = %d, want %d", med2.Clock(), st.Clock)
+	}
+	gotStats, _ := med2.PolicyStats()
+	if gotStats.Used != wantStats.Used || len(gotStats.Contents) != len(wantStats.Contents) {
+		t.Fatalf("restored cache %+v, want %+v", gotStats, wantStats)
+	}
+	checkInvariant(t, med2, reg2)
+	driveQueries(t, med2, 8)
+	checkInvariant(t, med2, reg2)
+}
+
+func shardName(n int) string {
+	return "shards-" + strconv.Itoa(n)
+}

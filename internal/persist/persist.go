@@ -147,10 +147,12 @@ type Manager struct {
 	cfg Config
 	med *federation.Mediator
 
-	// mu guards the WAL writer. Lock order: the mediator's decision
-	// lock is always taken first (appends arrive under it; rotation
-	// happens inside SnapshotState's barrier) — nothing under mu ever
-	// calls back into the mediator.
+	// mu guards the WAL writer and serializes appends arriving from
+	// different decision partitions. Lock order: a mediator partition
+	// lock (or the all-partitions barrier) is always taken first
+	// (appends arrive under a partition lock; rotation happens inside
+	// SnapshotState's barrier) — nothing under mu ever calls back into
+	// the mediator.
 	mu           sync.Mutex
 	wal          *walWriter
 	closed       bool
@@ -268,8 +270,8 @@ func (m *Manager) registerMetrics(r *obs.Registry) {
 }
 
 // JournalAccess implements federation.Journal: append one record to
-// the active WAL. Called under the mediator's decision lock — with
-// SyncEveryRecord the record is durable before the query result
+// the active WAL. Called under the owning decision partition's lock —
+// with SyncEveryRecord the record is durable before the query result
 // frame leaves the proxy. Append failures degrade to snapshot-only
 // durability (counted, logged once) rather than failing queries.
 func (m *Manager) JournalAccess(rec federation.JournalRecord) {
@@ -335,8 +337,8 @@ func (m *Manager) snapshot() error {
 }
 
 // rotateWAL closes the active WAL and opens wal-<clock>. Runs inside
-// the mediator's decision lock, so the rotation point is exactly the
-// snapshot's consistency boundary.
+// the mediator's all-partitions barrier, so the rotation point is
+// exactly the snapshot's consistency boundary on every partition.
 func (m *Manager) rotateWAL(clock int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -443,12 +445,16 @@ func (m *Manager) replayChain(snapClock int64, rep *RecoveryReport) {
 		}
 		rep.WALFiles++
 		n, torn, detail, err := walkWAL(data, func(rec federation.JournalRecord) error {
-			if rec.T <= snapClock {
-				return nil // already inside the snapshot
-			}
-			diverged, err := m.med.ReplayJournal(rec)
+			// The mediator owns the skip rule (per-partition clocks
+			// against the restored snapshot boundary, or the global
+			// sequence across a partition-layout change): applied is
+			// false for records already inside the snapshot.
+			applied, diverged, err := m.med.ReplayJournal(rec)
 			if err != nil {
 				return err
+			}
+			if !applied {
+				return nil
 			}
 			if diverged {
 				rep.Diverged++

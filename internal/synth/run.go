@@ -154,6 +154,11 @@ type Report struct {
 	Classes []ClassSummary `json:"classes,omitempty"`
 	Proxy   *ProxyDelta    `json:"proxy,omitempty"`
 	Tail    *TailReport    `json:"tail,omitempty"`
+
+	// Saturation carries the knee-search trail when the report came
+	// from Saturate; the report's own numbers are then the best
+	// passing probe's.
+	Saturation *SaturationReport `json:"saturation,omitempty"`
 }
 
 // Run executes the scenario open-loop against cfg.Addr: the arrival
@@ -567,6 +572,22 @@ func (r *Report) WriteText(w io.Writer) error {
 		for _, c := range r.Tail.Causes {
 			fmt.Fprintf(w, "    %-26s %6d dominant  %10.3fms attributed\n",
 				c.Cause, c.Dominant, float64(c.TotalUS)/1e3)
+		}
+	}
+	if s := r.Saturation; s != nil {
+		bound := ""
+		if s.Bounded {
+			bound = " (search cap — true knee is higher)"
+		}
+		fmt.Fprintf(w, "  saturation  knee %.0f rps under the %.0fms objective%s, %d probes:\n",
+			s.KneeRPS, float64(s.ThresholdUS)/1e3, bound, len(s.Probes))
+		for _, p := range s.Probes {
+			verdict := "fail"
+			if p.Pass {
+				verdict = "pass"
+			}
+			fmt.Fprintf(w, "    %8.0f rps → %8.1f achieved  p99 %8.2fms  attained %6.2f%%  shed %d  %s\n",
+				p.TargetRPS, p.AchievedRPS, ms(p.P99US), p.Attainment*100, p.Shed, verdict)
 		}
 	}
 	return nil

@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Saturation-search defaults.
+const (
+	// DefaultSatLowRPS is the first probe rate — low enough that a
+	// healthy federation passes it and the expansion phase has a floor.
+	DefaultSatLowRPS = 25
+	// DefaultSatMaxRPS caps the expansion phase so a server that never
+	// saturates (or a broken pass criterion) cannot search forever.
+	DefaultSatMaxRPS = 3200
+	// DefaultSatProbe is the per-probe schedule length.
+	DefaultSatProbe = 4 * time.Second
+	// DefaultSatBisections bounds the refinement phase; with doubling
+	// expansion the knee lands within low·2^-n of the truth.
+	DefaultSatBisections = 4
+	// DefaultSatAttainment is the SLO attainment a passing probe must
+	// reach; the shed+error fraction must stay within its complement.
+	DefaultSatAttainment = 0.95
+)
+
+// SaturationConfig parameterizes the knee search. Zero values take
+// the defaults above; Run carries the transport knobs (address, SLO,
+// in-flight cap) shared with plain runs.
+type SaturationConfig struct {
+	Run RunConfig
+	// Base supplies the workload shape — release, seed, arrivals,
+	// tenants — applied to every probe. Nil means the default
+	// single-tenant EDR mix.
+	Base *Scenario
+	// LowRPS seeds the expansion phase; MaxRPS caps it.
+	LowRPS, MaxRPS float64
+	// ProbeDuration is each probe's scheduled window.
+	ProbeDuration time.Duration
+	// Bisections is the number of refinement probes after expansion
+	// brackets the knee.
+	Bisections int
+	// MinAttainment is the SLO attainment a probe must reach to pass;
+	// the shed+error fraction of the probe's target ops must stay
+	// within 1 − MinAttainment.
+	MinAttainment float64
+}
+
+// SaturationProbe is one probe's verdict.
+type SaturationProbe struct {
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50US       int64   `json:"p50_us"`
+	P99US       int64   `json:"p99_us"`
+	Attainment  float64 `json:"attainment"`
+	Shed        int64   `json:"shed"`
+	Errors      int64   `json:"errors"`
+	Pass        bool    `json:"pass"`
+}
+
+// SaturationReport is the knee search's result: the highest probed
+// rate the federation sustains with p99 under the SLO and without
+// shedding, plus the full probe trail for audits.
+type SaturationReport struct {
+	// KneeRPS is the highest passing probe rate (0 when even the
+	// lowest probe failed).
+	KneeRPS float64 `json:"knee_rps"`
+	// ThresholdUS is the latency objective probes were judged against.
+	ThresholdUS int64 `json:"threshold_us"`
+	// MinAttainment is the pass criterion's attainment floor.
+	MinAttainment float64 `json:"min_attainment"`
+	// ProbeSeconds is each probe's scheduled window.
+	ProbeSeconds float64 `json:"probe_seconds"`
+	// Bounded notes a search that ended at MaxRPS still passing — the
+	// true knee is above the cap.
+	Bounded bool `json:"bounded,omitempty"`
+	// Probes is the search trail in probe order.
+	Probes []SaturationProbe `json:"probes"`
+}
+
+// Saturate binary-searches the saturation knee: the maximum constant
+// request rate the proxy sustains with p99 latency under the SLO and
+// the shed+error fraction within the attainment budget. The search
+// doubles from LowRPS until a probe fails (or MaxRPS), then bisects
+// the bracket. The returned Report is the best passing probe's full
+// report — the standard perf-gate shape — with the search trail
+// attached as Report.Saturation.
+func Saturate(ctx context.Context, cfg SaturationConfig) (*Report, error) {
+	if cfg.LowRPS <= 0 {
+		cfg.LowRPS = DefaultSatLowRPS
+	}
+	if cfg.MaxRPS <= 0 {
+		cfg.MaxRPS = DefaultSatMaxRPS
+	}
+	if cfg.MaxRPS < cfg.LowRPS {
+		cfg.MaxRPS = cfg.LowRPS
+	}
+	if cfg.ProbeDuration <= 0 {
+		cfg.ProbeDuration = DefaultSatProbe
+	}
+	if cfg.Bisections <= 0 {
+		cfg.Bisections = DefaultSatBisections
+	}
+	if cfg.MinAttainment <= 0 || cfg.MinAttainment > 1 {
+		cfg.MinAttainment = DefaultSatAttainment
+	}
+	base := cfg.Base
+	if base == nil {
+		base = &Scenario{Name: "saturation", Seed: 5}
+	}
+	slo := cfg.Run.SLO
+	if slo <= 0 {
+		slo = DefaultSLO
+	}
+	logf := cfg.Run.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	sat := &SaturationReport{
+		ThresholdUS:   slo.Microseconds(),
+		MinAttainment: cfg.MinAttainment,
+		ProbeSeconds:  cfg.ProbeDuration.Seconds(),
+	}
+	var best *Report  // highest passing probe's full report
+	var worst *Report // the first probe, kept for the all-fail case
+
+	probe := func(rps float64) (bool, error) {
+		sc := &Scenario{
+			Name:    fmt.Sprintf("saturation@%.0frps", rps),
+			Release: base.Release,
+			Seed:    base.Seed + int64(len(sat.Probes)),
+			Arrival: base.Arrival,
+			Slots: []Slot{{
+				Name: "probe", Shape: ShapeConstant,
+				RPS: rps, Duration: Duration(cfg.ProbeDuration),
+			}},
+			Tenants: base.Tenants,
+		}
+		if err := sc.Validate(); err != nil {
+			return false, err
+		}
+		runCfg := cfg.Run
+		runCfg.Obs = nil // each probe owns its histograms
+		rep, err := Run(ctx, sc, runCfg)
+		if err != nil {
+			return false, err
+		}
+		p := SaturationProbe{
+			TargetRPS:   rps,
+			AchievedRPS: rep.AchievedRPS,
+			P50US:       rep.Latency.P50US,
+			P99US:       rep.Latency.P99US,
+			Attainment:  rep.SLO.Attainment,
+			Shed:        rep.Shed,
+			Errors:      rep.Errors,
+		}
+		// Pass: tail under the objective, attainment at the floor, and
+		// the open-loop loss (shed + errors, which never enter the
+		// latency histogram) within the attainment budget.
+		lossBudget := int64(float64(rep.TargetOps) * (1 - cfg.MinAttainment))
+		p.Pass = rep.Completed > 0 &&
+			p.P99US <= sat.ThresholdUS &&
+			p.Attainment >= cfg.MinAttainment &&
+			p.Shed+p.Errors <= lossBudget
+		sat.Probes = append(sat.Probes, p)
+		logf("synth: saturation probe %.0f rps: p99 %.2fms, attainment %.2f%%, shed %d, errors %d → %s",
+			rps, float64(p.P99US)/1e3, p.Attainment*100, p.Shed, p.Errors,
+			map[bool]string{true: "pass", false: "fail"}[p.Pass])
+		if worst == nil {
+			worst = rep
+		}
+		if p.Pass && rps >= sat.KneeRPS {
+			sat.KneeRPS = rps
+			best = rep
+		}
+		return p.Pass, nil
+	}
+
+	// Expansion: double from LowRPS until a probe fails or MaxRPS
+	// passes (the knee is above the cap).
+	low, high := 0.0, 0.0
+	for rps := cfg.LowRPS; ; {
+		pass, err := probe(rps)
+		if err != nil {
+			return nil, err
+		}
+		if !pass {
+			high = rps
+			break
+		}
+		low = rps
+		if rps >= cfg.MaxRPS {
+			sat.Bounded = true
+			break
+		}
+		rps = min(rps*2, cfg.MaxRPS)
+	}
+
+	// Refinement: bisect the bracket. Skipped when even LowRPS failed
+	// (knee reported as 0) or when the cap passed (nothing to bracket).
+	if low > 0 && high > 0 {
+		for i := 0; i < cfg.Bisections; i++ {
+			mid := (low + high) / 2
+			pass, err := probe(mid)
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				low = mid
+			} else {
+				high = mid
+			}
+		}
+	}
+
+	final := best
+	if final == nil {
+		final = worst // nothing passed; surface the failing probe's evidence
+	}
+	final.Scenario = "saturation"
+	final.Saturation = sat
+	return final, nil
+}

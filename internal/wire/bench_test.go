@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -131,9 +132,10 @@ func benchFederation(b *testing.B, maxInflight, maxLegs int) (addr string, shutd
 }
 
 // runProxyBench drives b.N queries through the proxy from `clients`
-// concurrent connections and reports queries/sec. With no cache policy
-// every access bypasses, so each query ships one sub-query leg over
-// the simulated WAN — the leg, not local compute, dominates.
+// concurrent connections and reports queries/sec plus the client-side
+// p50/p99 query latency. With no cache policy every access bypasses,
+// so each query ships one sub-query leg over the simulated WAN — the
+// leg, not local compute, dominates.
 func runProxyBench(b *testing.B, addr string, clients int) {
 	queries := []string{
 		"select a, b from t0 where a between 0 and 300",
@@ -143,6 +145,8 @@ func runProxyBench(b *testing.B, addr string, clients int) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var latencies []int64 // microseconds, merged per client at exit
 	b.ResetTimer()
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -155,15 +159,23 @@ func runProxyBench(b *testing.B, addr string, clients int) {
 				return
 			}
 			defer cl.Close()
+			var lats []int64
+			defer func() {
+				mu.Lock()
+				latencies = append(latencies, lats...)
+				mu.Unlock()
+			}()
 			for {
 				i := next.Add(1)
 				if i > int64(b.N) {
 					return
 				}
+				qStart := time.Now()
 				if _, err := cl.Query(queries[int(i)%len(queries)]); err != nil {
 					b.Error(err)
 					return
 				}
+				lats = append(lats, time.Since(qStart).Microseconds())
 			}
 		}()
 	}
@@ -171,6 +183,15 @@ func runProxyBench(b *testing.B, addr string, clients int) {
 	elapsed := time.Since(start)
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/sec")
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		quantile := func(q float64) float64 {
+			idx := int(q * float64(len(latencies)-1))
+			return float64(latencies[idx])
+		}
+		b.ReportMetric(quantile(0.50), "p50-us")
+		b.ReportMetric(quantile(0.99), "p99-us")
+	}
 }
 
 // BenchmarkProxyThroughput measures the concurrent pipeline against

@@ -84,15 +84,28 @@ func TestChaosBreakerCycle(t *testing.T) {
 		t.Fatalf("EDR spans %d sites, want 3", len(nodes))
 	}
 
-	pol := &pinned{id: federation.ColumnObjectID(s.Name, "specobj", "z")}
+	// The decision plane runs sharded: each partition owns a pinned
+	// instance for the same id, but only the partition that owns
+	// specobj.z under the routing hash will ever cache it — the chaos
+	// invariants must hold per partition as well as globally.
+	const chaosShards = 4
+	pinID := federation.ColumnObjectID(s.Name, "specobj", "z")
+	pols := make([]*pinned, chaosShards)
 	led := ledger.New(4096)
 	med, err := federation.New(federation.Config{
-		Schema: s, Engine: db, Policy: pol, Granularity: federation.Columns,
-		Obs: obs.NewRegistry(), Ledger: led,
+		Schema: s, Engine: db, Granularity: federation.Columns,
+		NewPolicy: func(shard int, capacity int64) (core.Policy, error) {
+			pols[shard] = &pinned{id: pinID}
+			return pols[shard], nil
+		},
+		Capacity: s.TotalBytes(),
+		Shards:   chaosShards,
+		Obs:      obs.NewRegistry(), Ledger: led,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	pol := pols[federation.ShardOf(pinID, chaosShards)]
 
 	proxy := NewProxy(med, federation.Columns, addrs)
 	proxy.SetLogf(quiet)
@@ -215,11 +228,25 @@ func TestChaosBreakerCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sum int64
+	shardYield := make([]int64, chaosShards)
 	for _, r := range dec.Records {
 		sum += r.Yield
+		shardYield[federation.ShardOf(core.ObjectID(r.Object), chaosShards)] += r.Yield
 	}
 	if sum != st.Acct.DeliveredBytes() {
 		t.Fatalf("Σ ledger yields = %d, D_A = %d", sum, st.Acct.DeliveredBytes())
+	}
+	// The identity holds partition by partition through the outage too:
+	// forced and failed legs land in the owning shard's accounting with
+	// the same zero-charge rules as the global plane.
+	if len(st.ShardAccts) != chaosShards {
+		t.Fatalf("stats report %d shard accts, want %d", len(st.ShardAccts), chaosShards)
+	}
+	for k, sa := range st.ShardAccts {
+		if shardYield[k] != sa.DeliveredBytes() {
+			t.Fatalf("shard %d: Σ ledger yields = %d, want shard D_A = %d",
+				k, shardYield[k], sa.DeliveredBytes())
+		}
 	}
 	var sawForced, sawFailed bool
 	for _, r := range dec.Records {

@@ -78,6 +78,8 @@ const DefaultMaxInflight = 64
 //	wire.pool_waits                    per-site pool Gets that had to block
 //	wire.pool_wait_us                  per-site histogram of time blocked
 //	                                   waiting for a pool slot
+//	wire.pool_size                     per-site checked-out bound (moves
+//	                                   under adaptive sizing)
 //	wire.fetch_coalesced               object fetches served by another
 //	                                   in-flight fetch (single-flight dedup)
 //
@@ -112,6 +114,8 @@ type Proxy struct {
 	bcfg        BreakerConfig
 	breakers    map[string]*breaker // read-only after construction
 	proberStop  chan struct{}
+	adaptStop   chan struct{}
+	adaptEvery  time.Duration
 
 	ln     net.Listener
 	logf   func(format string, args ...any)
@@ -142,6 +146,7 @@ type Proxy struct {
 	poolIdle     *obs.GaugeFamily
 	poolWaits    *obs.CounterFamily
 	poolWaitDur  *obs.HistogramFamily
+	poolSize     *obs.GaugeFamily
 	coalesced    *obs.CounterFamily
 
 	flight *flightrec.Recorder
@@ -195,7 +200,9 @@ func NewProxy(med *federation.Mediator, gran federation.Granularity, nodeAddrs m
 	p.poolIdle = reg.GaugeFamily("wire.pool_idle")
 	p.poolWaits = reg.CounterFamily("wire.pool_waits")
 	p.poolWaitDur = reg.HistogramFamily("wire.pool_wait_us", obs.DefaultLatencyBuckets())
+	p.poolSize = reg.GaugeFamily("wire.pool_size")
 	p.coalesced = reg.CounterFamily("wire.fetch_coalesced")
+	p.adaptEvery = DefaultAdaptInterval
 	obs.EnableRuntimeStats(reg)
 	p.buildFlight(flightrec.DefaultConfig())
 	p.buildBreakers()
@@ -244,6 +251,7 @@ func (p *Proxy) buildPools() {
 	dial := func(site, addr string) (net.Conn, error) { return p.dialer(site, addr) }
 	for site, addr := range p.nodeAddrs {
 		p.pools[site] = newPool(site, addr, p.pcfg, dial, m)
+		p.poolSize.Set(site, int64(p.pools[site].MaxActive()))
 	}
 }
 
@@ -302,9 +310,13 @@ func (p *Proxy) SetBreakerConfig(cfg BreakerConfig) {
 }
 
 // SetPoolConfig replaces the per-site connection-pool bounds,
-// rebuilding the pools. Call before Listen.
+// rebuilding the pools. With cfg.Adaptive the proxy re-derives each
+// site's bound every DefaultAdaptInterval from the interval's
+// wire.pool_waits and wire.rpc_latency_us deltas (see AdaptPoolSize);
+// MaxActive then only seeds the starting size. Call before Listen.
 func (p *Proxy) SetPoolConfig(cfg PoolConfig) {
 	p.pcfg = cfg.sanitize()
+	p.pcfg.Adaptive = cfg.Adaptive
 	p.buildPools()
 }
 
@@ -370,6 +382,11 @@ func (p *Proxy) Listen(addr string) (string, error) {
 		p.wg.Add(1)
 		go p.probeLoop()
 	}
+	if p.pcfg.Adaptive && len(p.pools) > 0 {
+		p.adaptStop = make(chan struct{})
+		p.wg.Add(1)
+		go p.adaptLoop()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -382,6 +399,9 @@ func (p *Proxy) Close() error {
 	p.mu.Unlock()
 	if p.proberStop != nil && !alreadyClosed {
 		close(p.proberStop)
+	}
+	if p.adaptStop != nil && !alreadyClosed {
+		close(p.adaptStop)
 	}
 	var err error
 	if p.ln != nil {
@@ -428,6 +448,62 @@ func (p *Proxy) probe(site string, br *breaker) {
 	}
 	p.probes.Add(site+"/fail", 1)
 	br.RecordFailure()
+}
+
+// adaptLoop re-derives each site's pool bound every adaptEvery from
+// the interval's observed demand: the wire.pool_waits delta (Gets that
+// blocked) and the RPC rate and mean latency from the
+// wire.rpc_latency_us histogram delta. See AdaptPoolSize for the
+// sizing rule. The loop reads registry snapshots rather than pool
+// internals so the signal is exactly what an operator watching the
+// metrics would see.
+func (p *Proxy) adaptLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.adaptEvery)
+	defer tick.Stop()
+	prev := p.reg.Snapshot()
+	prevT := time.Now()
+	for {
+		select {
+		case <-p.adaptStop:
+			return
+		case <-tick.C:
+			snap := p.reg.Snapshot()
+			now := time.Now()
+			dt := now.Sub(prevT).Seconds()
+			if dt > 0 {
+				p.adaptOnce(prev, snap, dt)
+			}
+			prev, prevT = snap, now
+		}
+	}
+}
+
+// adaptOnce applies one adaptive-sizing pass over every site pool
+// given consecutive registry snapshots dt seconds apart.
+func (p *Proxy) adaptOnce(prev, snap obs.Snapshot, dt float64) {
+	for site, sp := range p.pools {
+		waits := snap.CounterValue("wire.pool_waits", site) -
+			prev.CounterValue("wire.pool_waits", site)
+		var legsPerSec, meanSec float64
+		if h, ok := snap.HistogramSnap("wire.rpc_latency_us", site); ok {
+			if ph, ok := prev.HistogramSnap("wire.rpc_latency_us", site); ok {
+				h = h.Sub(ph)
+			}
+			if h.Count > 0 {
+				legsPerSec = float64(h.Count) / dt
+				meanSec = float64(h.Sum) / float64(h.Count) / 1e6
+			}
+		}
+		cur := sp.MaxActive()
+		next := AdaptPoolSize(cur, waits, legsPerSec, meanSec)
+		if next != cur {
+			sp.Resize(next)
+			p.poolSize.Set(site, int64(next))
+			p.logf("proxy: pool %s: adaptive resize %d -> %d (waits=%d rate=%.1f/s latency=%.1fms)",
+				site, cur, next, waits, legsPerSec, meanSec*1e3)
+		}
+	}
 }
 
 func (p *Proxy) probeOnce(site string) bool {
@@ -594,6 +670,9 @@ func (p *Proxy) handleQuery(sql string, ctx obs.TraceContext, fc *flightrec.Capt
 	mspan.End(obs.A("yield", strconv.FormatInt(rep.Result.Bytes, 10)),
 		obs.A("rows", strconv.FormatInt(rep.Result.Rows, 10)))
 	fc.SetMediation(rep.ExecUS, rep.LockWaitUS, rep.DecideUS)
+	for _, w := range rep.ShardWaits {
+		fc.ShardWait(w.Shard, w.WaitUS)
+	}
 	fc.SetDegraded(rep.Degraded)
 	res := &ResultMsg{
 		Columns: rep.Result.Columns,
@@ -1024,11 +1103,13 @@ func (p *Proxy) decisions(q DecisionsMsg) DecisionsResultMsg {
 // mid-decision.
 func (p *Proxy) stats() StatsResultMsg {
 	msg := StatsResultMsg{
-		Granularity: p.gran.String(),
-		Acct:        p.med.Accounting(),
-		TransportTx: p.nodeTx.Value(),
-		TransportRx: p.nodeRx.Value(),
-		Queries:     p.med.Clock(),
+		Granularity:    p.gran.String(),
+		Acct:           p.med.Accounting(),
+		TransportTx:    p.nodeTx.Value(),
+		TransportRx:    p.nodeRx.Value(),
+		Queries:        p.med.Clock(),
+		DecisionShards: p.med.ShardCount(),
+		ShardAccts:     p.med.ShardAccountings(),
 	}
 	if ps, ok := p.med.PolicyStats(); ok {
 		msg.Policy = ps.Name

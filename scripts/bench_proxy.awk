@@ -1,0 +1,53 @@
+# bench_proxy.awk — distills the bench-proxy runs (proxy throughput,
+# frame encoder, decide-phase contention) into BENCH_proxy.json.
+# `go test -bench` lines carry a variable number of metric columns, so
+# values are located by their unit token rather than field position.
+
+function val(unit,    i) {
+	for (i = 2; i <= NF; i++)
+		if ($i == unit)
+			return $(i - 1)
+	return "0"
+}
+
+/^BenchmarkProxyThroughput\/serial/ {
+	serial_qps = val("queries/sec")
+	serial_p50 = val("p50-us")
+	serial_p99 = val("p99-us")
+}
+/^BenchmarkProxyThroughput\/concurrent8/ {
+	conc_qps = val("queries/sec")
+	conc_p50 = val("p50-us")
+	conc_p99 = val("p99-us")
+}
+/^BenchmarkWriteFrame/ {
+	fns = val("ns/op")
+	fallocs = val("allocs/op")
+}
+/^BenchmarkMediatorDecide\// {
+	split($1, parts, "/")
+	cfg = parts[2]
+	mode = parts[3]
+	sub(/-[0-9]+$/, "", mode)
+	dns[cfg "/" mode] = val("ns/op")
+	dlw[cfg "/" mode] = val("lockwait-us/op")
+	if (!(cfg in seen)) {
+		order[++ncfg] = cfg
+		seen[cfg] = 1
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"serial\": {\"qps\": %s, \"p50_us\": %s, \"p99_us\": %s},\n", serial_qps, serial_p50, serial_p99
+	printf "  \"concurrent8\": {\"qps\": %s, \"p50_us\": %s, \"p99_us\": %s},\n", conc_qps, conc_p50, conc_p99
+	printf "  \"speedup\": %.2f,\n", conc_qps / serial_qps
+	printf "  \"write_frame\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", fns, fallocs
+	printf "  \"decide_contention\": {\n"
+	printf "    \"note\": \"lockwait_us_per_op is time blocked on decision-partition locks per query — the serialization the sharded plane removes; ns/op additionally reflects host core count (a single-core host cannot show wall-clock parallel speedup)\",\n"
+	for (i = 1; i <= ncfg; i++) {
+		cfg = order[i]
+		printf "    \"%s\": {\"disjoint\": {\"ns_per_op\": %s, \"lockwait_us_per_op\": %s}, \"overlap\": {\"ns_per_op\": %s, \"lockwait_us_per_op\": %s}}%s\n", \
+			cfg, dns[cfg "/disjoint"], dlw[cfg "/disjoint"], dns[cfg "/overlap"], dlw[cfg "/overlap"], (i < ncfg ? "," : "")
+	}
+	printf "  }\n}\n"
+}

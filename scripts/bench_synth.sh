@@ -1,9 +1,10 @@
 #!/bin/sh
 # bench_synth.sh — the bench-synth harness: stand up a real two-node
 # federation (bydbd for the photo and spec sites; the meta site runs
-# in the proxy's local-simulation mode), run the canned steady
-# scenario through bysynth over the wire protocol, and leave the JSON
-# report in BENCH_synth.json.
+# in the proxy's local-simulation mode), binary-search the saturation
+# knee through bysynth over the wire protocol, and leave the JSON
+# report in BENCH_synth.json — then gate it against the committed
+# baseline so a perf regression fails the build.
 #
 # Everything binds to fixed loopback ports in the 171xx range so a
 # crashed previous run can't leave us fighting over 7100.
@@ -22,7 +23,7 @@ cleanup() {
     rm -rf "$BIN"
 }
 
-$GO build -o "$BIN" ./cmd/bydbd ./cmd/byproxyd ./cmd/bysynth
+$GO build -o "$BIN" ./cmd/bydbd ./cmd/byproxyd ./cmd/bysynth ./cmd/benchgate
 
 # -sample 100000 keeps data synthesis fast; yields are logical either
 # way, so the byte accounting is unaffected.
@@ -35,14 +36,29 @@ SPEC_PID=$!
 PROXY_PID=$!
 trap cleanup EXIT INT TERM
 
-# -wait absorbs daemon startup (data synthesis takes a moment); the
-# steady scenario is 100 rps for 10s against the EDR release.
-# -slo-fail makes the run a real perf gate: below SLO_FAIL attainment
-# of the default 500ms objective, bysynth (and so CI) exits nonzero —
-# after writing the full report, which carries the flight recorder's
-# tail attribution explaining which phase or site ate the budget.
-"$BIN"/bysynth -addr $PROXY_ADDR -scenario steady -wait 30s -out "$OUT" \
-    -slo-fail "${SLO_FAIL:-0.90}"
+# -wait absorbs daemon startup (data synthesis takes a moment). The
+# saturation scenario is the perf number this harness exists to
+# produce: constant-rate probes double until one misses the 500ms
+# objective or sheds, then bisect — the knee is the max RPS the proxy
+# sustains. The report's top-level numbers are the best passing
+# probe's (the steady-era schema), with the probe trail under
+# "saturation". -slo-fail still gates the knee probe's attainment.
+"$BIN"/bysynth -addr $PROXY_ADDR -scenario saturation -wait 30s -out "$OUT" \
+    -sat-probe "${SAT_PROBE:-4s}" -slo-fail "${SLO_FAIL:-0.90}"
 
 echo
 cat "$OUT"
+
+# Regression gate against the committed baseline: achieved RPS or the
+# knee dropping, or p99 drifting up, beyond tolerance fails the run.
+# Skipped when no baseline is committed yet (fresh tree) or git is
+# unavailable (extracted tarball). Tolerances default wide because CI
+# runners are noisy; override with RPS_DROP / P99_DRIFT.
+BASELINE=$(mktemp)
+trap 'rm -f "$BASELINE"; cleanup' EXIT INT TERM
+if git show HEAD:BENCH_synth.json > "$BASELINE" 2>/dev/null && [ -s "$BASELINE" ]; then
+    "$BIN"/benchgate -baseline "$BASELINE" -fresh "$OUT" \
+        -max-rps-drop "${RPS_DROP:-0.30}" -max-p99-drift "${P99_DRIFT:-1.0}"
+else
+    echo "benchgate: no committed BENCH_synth.json baseline; gate skipped"
+fi
